@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation: buffer slots per trap. The paper fixes two free slots per
+ * trap for incoming shuttles (Section VI); this sweep quantifies the
+ * sensitivity of runtime and fidelity to that choice, including the
+ * eviction pressure that appears when no buffer is reserved.
+ */
+
+#include <iostream>
+
+#include "benchgen/benchgen.hpp"
+#include "common/table.hpp"
+#include "core/toolflow.hpp"
+
+int
+main()
+{
+    using namespace qccd;
+
+    std::cout << "=== Ablation: buffer slots per trap (L6 cap=22, FM-GS) "
+                 "===\n";
+    TextTable table;
+    table.addRow({"app", "buffer", "time (s)", "fidelity", "evictions",
+                  "shuttles"});
+    for (const char *app : {"qft", "squareroot", "supremacy"}) {
+        const Circuit circuit = makeBenchmark(app);
+        for (int buffer : {0, 1, 2, 4, 6}) {
+            DesignPoint dp = DesignPoint::linear(6, 22);
+            dp.hw.bufferSlots = buffer;
+            const RunResult r = runToolflow(circuit, dp);
+            table.addRow({app, std::to_string(buffer),
+                          formatSig(r.totalTime() / kSecondUs, 4),
+                          formatSci(r.fidelity(), 3),
+                          std::to_string(r.sim.counts.evictions),
+                          std::to_string(r.sim.counts.shuttles)});
+        }
+    }
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: heating constants k1/k2. The paper assumes rates one order
+ * of magnitude better than Honeywell's measured ~2 quanta per shuttle
+ * (Section VII-B, k1=0.1, k2=0.01). This sweep shows how application
+ * fidelity degrades if that projection is not met.
+ */
+
+#include <iostream>
+
+#include "benchgen/benchgen.hpp"
+#include "common/table.hpp"
+#include "core/toolflow.hpp"
+
+int
+main()
+{
+    using namespace qccd;
+
+    std::cout << "=== Ablation: heating constants (L6 cap=22, FM-GS) "
+                 "===\n";
+    TextTable table;
+    table.addRow({"app", "k1", "k2", "fidelity", "max heat (quanta)"});
+    const double scales[] = {0.1, 0.5, 1.0, 2.0, 10.0};
+    for (const char *app : {"qft", "supremacy"}) {
+        const Circuit circuit = makeBenchmark(app);
+        for (double s : scales) {
+            DesignPoint dp = DesignPoint::linear(6, 22);
+            dp.hw.heatingK1 = 0.1 * s;
+            dp.hw.heatingK2 = 0.01 * s;
+            const RunResult r = runToolflow(circuit, dp);
+            table.addRow({app, formatSig(dp.hw.heatingK1, 3),
+                          formatSig(dp.hw.heatingK2, 3),
+                          formatSci(r.fidelity(), 3),
+                          formatSig(r.sim.maxChainEnergy, 4)});
+        }
+    }
+    std::cout << table.render();
+    std::cout << "\nk1=1.0 corresponds to Honeywell-scale heating; the "
+                 "paper's projected rates are the first row.\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces Figure 6 (trap sizing study): L6 device, FM gates, GS
+ * reordering, capacity swept 14-34.
+ *
+ *  6a: application runtime for all six applications
+ *  6b: QFT compute/communication runtime decomposition
+ *  6c-6e: application fidelities
+ *  6f: maximum motional mode energy across the device
+ *  6g: Supremacy two-qubit gate error decomposition
+ *      (background Gamma*tau vs motional A*(2nbar+1))
+ */
+
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "core/export.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+
+int
+main()
+{
+    using namespace qccd;
+
+    const std::vector<std::string> apps{"adder", "supremacy", "qft",
+                                        "bv", "qaoa", "squareroot"};
+    const std::vector<int> caps = paperCapacities();
+    RunOptions options;
+    options.decomposeRuntime = true;
+
+    const auto points = sweepCapacity(apps, caps, [](int cap) {
+        return DesignPoint::linear(6, cap, GateImpl::FM,
+                                   ReorderMethod::GS);
+    }, options);
+
+    std::cout << "=== Figure 6: trap sizing (L6, FM, GS) ===\n\n";
+
+    std::cout << "--- Fig 6a: application runtime (s) ---\n"
+              << seriesTable(points, metricTimeSeconds, "time[s]")
+              << "\n";
+
+    std::cout << "--- Fig 6b: QFT compute vs communication time (s) ---\n";
+    {
+        TextTable table;
+        std::vector<std::string> h{"QFT series"};
+        for (int c : caps)
+            h.push_back(std::to_string(c));
+        table.addRow(h);
+        std::vector<std::string> comp{"computation"};
+        std::vector<std::string> comm{"communication"};
+        for (int c : caps) {
+            for (const SweepPoint &p : points) {
+                if (p.application == "qft" &&
+                    p.design.trapCapacity == c) {
+                    comp.push_back(
+                        formatSig(metricComputeTimeSeconds(p.result), 4));
+                    comm.push_back(
+                        formatSig(metricCommTimeSeconds(p.result), 4));
+                }
+            }
+        }
+        table.addRow(comp);
+        table.addRow(comm);
+        std::cout << table.render() << "\n";
+    }
+
+    std::cout << "--- Fig 6c-6e: application fidelity ---\n"
+              << seriesTable(points, metricFidelity, "fidelity", true)
+              << "\n";
+
+    std::cout << "--- Fig 6c-6e (log fidelity, for deep-loss configs) "
+                 "---\n"
+              << seriesTable(points, metricLogFidelity, "ln(fidelity)")
+              << "\n";
+
+    std::cout << "--- Fig 6f: max motional mode energy (quanta) ---\n"
+              << seriesTable(points, metricMaxEnergy, "max energy")
+              << "\n";
+
+    std::cout << "--- Fig 6g: Supremacy MS gate error split (x1e-2) "
+                 "---\n";
+    {
+        TextTable table;
+        std::vector<std::string> h{"error term"};
+        for (int c : caps)
+            h.push_back(std::to_string(c));
+        table.addRow(h);
+        std::vector<std::string> bg{"background"};
+        std::vector<std::string> mot{"motional"};
+        for (int c : caps) {
+            for (const SweepPoint &p : points) {
+                if (p.application == "supremacy" &&
+                    p.design.trapCapacity == c) {
+                    bg.push_back(formatSig(
+                        p.result.sim.meanBackgroundError() * 100, 4));
+                    mot.push_back(formatSig(
+                        p.result.sim.meanMotionalError() * 100, 4));
+                }
+            }
+        }
+        table.addRow(bg);
+        table.addRow(mot);
+        std::cout << table.render();
+    }
+
+    // Raw series for external plotting.
+    writeTextFile(toCsv(points), "fig6_trap_sizing.csv");
+    std::cout << "\nwrote fig6_trap_sizing.csv (" << points.size()
+              << " rows)\n";
+    return 0;
+}

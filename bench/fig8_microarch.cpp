@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Figure 8 (microarchitecture study): the eight combinations
+ * of two-qubit gate implementation {AM1, AM2, PM, FM} and chain
+ * reordering method {GS, IS} on the L6 topology, capacity 14-34.
+ * Prints one fidelity table and one runtime table per application, one
+ * row per combination (the figure's eight curves).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "common/table.hpp"
+#include "core/report.hpp"
+#include "core/toolflow.hpp"
+
+int
+main()
+{
+    using namespace qccd;
+
+    const std::vector<std::string> apps{"adder", "bv", "qaoa", "qft",
+                                        "squareroot", "supremacy"};
+    const std::vector<int> caps = paperCapacities();
+    const std::vector<GateImpl> gates{GateImpl::AM1, GateImpl::AM2,
+                                      GateImpl::FM, GateImpl::PM};
+    const std::vector<ReorderMethod> reorders{ReorderMethod::GS,
+                                              ReorderMethod::IS};
+
+    std::cout << "=== Figure 8: microarchitecture (L6), 8 combos ===\n";
+
+    for (const std::string &app : apps) {
+        const Circuit circuit = makeBenchmark(app);
+
+        TextTable fid;
+        TextTable time;
+        std::vector<std::string> header{"combo"};
+        for (int c : caps)
+            header.push_back(std::to_string(c));
+        fid.addRow(header);
+        time.addRow(header);
+
+        for (GateImpl gate : gates) {
+            for (ReorderMethod reorder : reorders) {
+                std::vector<std::string> frow{gateImplName(gate) + "-" +
+                                              reorderMethodName(reorder)};
+                std::vector<std::string> trow = frow;
+                for (int cap : caps) {
+                    const DesignPoint dp =
+                        DesignPoint::linear(6, cap, gate, reorder);
+                    const RunResult r = runToolflow(circuit, dp);
+                    frow.push_back(formatSci(r.fidelity(), 3));
+                    trow.push_back(
+                        formatSig(r.totalTime() / kSecondUs, 4));
+                }
+                fid.addRow(frow);
+                time.addRow(trow);
+            }
+        }
+        std::cout << "\n--- " << app << " fidelity ---\n" << fid.render();
+        std::cout << "--- " << app << " time (s) ---\n" << time.render();
+    }
+    return 0;
+}

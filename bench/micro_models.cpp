@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: throughput of the physical models,
+ * the OpenQASM parser, workload generation, and the full compile +
+ * simulate toolflow. These verify the simulator itself is fast enough
+ * for large design-space sweeps (hundreds of runs per figure).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/builders.hpp"
+#include "arch/path.hpp"
+#include "benchgen/benchgen.hpp"
+#include "circuit/decompose.hpp"
+#include "circuit/qasm/parser.hpp"
+#include "circuit/qasm/writer.hpp"
+#include "compiler/scheduler.hpp"
+#include "core/toolflow.hpp"
+
+namespace
+{
+
+using namespace qccd;
+
+void
+BM_GateTimeModel(benchmark::State &state)
+{
+    const GateTimeModel model(GateImpl::FM);
+    int d = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.twoQubit(1 + d % 19, 20));
+        ++d;
+    }
+}
+BENCHMARK(BM_GateTimeModel);
+
+void
+BM_FidelityModel(benchmark::State &state)
+{
+    const FidelityModel model;
+    double nbar = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.twoQubitError(200.0, 20, nbar));
+        nbar += 0.01;
+    }
+}
+BENCHMARK(BM_FidelityModel);
+
+void
+BM_PathFinderConstruction(benchmark::State &state)
+{
+    const Topology topo = makeGrid(2, static_cast<int>(state.range(0)),
+                                   20);
+    for (auto _ : state) {
+        PathFinder finder(topo, PathCost{});
+        benchmark::DoNotOptimize(finder.cost(0, topo.trapCount() - 1));
+    }
+}
+BENCHMARK(BM_PathFinderConstruction)->Arg(3)->Arg(8)->Arg(16);
+
+void
+BM_QasmParse(benchmark::State &state)
+{
+    const std::string text = qasm::write(makeQft(32));
+    for (auto _ : state) {
+        const Circuit c = qasm::parse(text);
+        benchmark::DoNotOptimize(c.size());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * text.size());
+}
+BENCHMARK(BM_QasmParse);
+
+void
+BM_GenerateSupremacy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const Circuit c = makeSupremacy(8, 8, 560);
+        benchmark::DoNotOptimize(c.size());
+    }
+}
+BENCHMARK(BM_GenerateSupremacy);
+
+void
+BM_DecomposeQft(benchmark::State &state)
+{
+    const Circuit qft = makeQft(64);
+    for (auto _ : state) {
+        const Circuit native = decomposeToNative(qft);
+        benchmark::DoNotOptimize(native.size());
+    }
+}
+BENCHMARK(BM_DecomposeQft);
+
+void
+BM_ScheduleQft(benchmark::State &state)
+{
+    const Circuit native = decomposeToNative(
+        makeQft(static_cast<int>(state.range(0))));
+    const Topology topo = makeLinear(6, 22);
+    HardwareParams hw;
+    for (auto _ : state) {
+        Scheduler sched(native, topo, hw, ScheduleOptions{false, false});
+        benchmark::DoNotOptimize(sched.run().metrics.makespan);
+    }
+}
+BENCHMARK(BM_ScheduleQft)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FullToolflowSupremacy(benchmark::State &state)
+{
+    const Circuit app = makeBenchmark("supremacy");
+    const DesignPoint dp = DesignPoint::linear(6, 22);
+    for (auto _ : state) {
+        const RunResult r = runToolflow(app, dp);
+        benchmark::DoNotOptimize(r.fidelity());
+    }
+}
+BENCHMARK(BM_FullToolflowSupremacy)->Unit(benchmark::kMillisecond);
+
+} // namespace

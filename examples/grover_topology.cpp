@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Domain scenario: topology co-design for Grover search (SquareRoot).
+ *
+ * Section IX-B's headline result: communication topology must match the
+ * application. SquareRoot's irregular short/long-range pattern gains
+ * orders of magnitude in fidelity on a grid versus a linear device,
+ * while the linear device suffers from pass-through merges and splits
+ * at intermediate traps (Fig. 4). This example reproduces that
+ * comparison at the paper scale.
+ */
+
+#include <iostream>
+
+#include "benchgen/benchgen.hpp"
+#include "common/table.hpp"
+#include "core/toolflow.hpp"
+
+int
+main()
+{
+    using namespace qccd;
+
+    const Circuit app = makeSquareRoot(38, 1); // 78 qubits, Table II
+    std::cout << "SquareRoot-78: linear L6 vs grid G2x3 (FM gates, GS "
+                 "reordering)\n\n";
+
+    TextTable table;
+    table.addRow({"capacity", "topo", "time (s)", "fidelity",
+                  "log-fidelity", "pass-throughs", "max heat (quanta)"});
+
+    for (int cap : {16, 22, 28, 34}) {
+        for (const char *spec : {"linear:6", "grid:2x3"}) {
+            DesignPoint dp;
+            dp.topologySpec = spec;
+            dp.trapCapacity = cap;
+            const RunResult r = runToolflow(app, dp);
+            table.addRow(
+                {std::to_string(cap), spec,
+                 formatSig(r.totalTime() / kSecondUs, 4),
+                 formatSci(r.fidelity(), 3),
+                 formatSig(r.sim.logFidelity, 4),
+                 std::to_string(r.sim.counts.trapPassThroughs),
+                 formatSig(r.sim.maxChainEnergy, 4)});
+        }
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "Expected shape (paper Fig. 7): the grid wins by orders "
+                 "of magnitude for this application because it avoids "
+                 "intermediate-trap merges and their heating.\n";
+    return 0;
+}

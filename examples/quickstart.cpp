@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quickstart: build a QCCD design point, run a benchmark through the
+ * toolflow, and read out the application and device metrics.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/stats.hpp"
+#include "core/report.hpp"
+#include "core/toolflow.hpp"
+
+int
+main()
+{
+    using namespace qccd;
+
+    // 1. Pick an application. Generators for the paper's whole suite
+    //    live in benchgen; any OpenQASM 2.0 file works too.
+    const Circuit app = makeQft(32);
+    const CircuitStats stats = computeStats(app);
+    std::cout << "application: " << app.name() << " with "
+              << stats.numQubits << " qubits, " << stats.twoQubitGates
+              << " two-qubit gates (" << stats.patternLabel() << ")\n";
+
+    // 2. Describe a candidate device: a Honeywell-style linear QCCD
+    //    with 4 traps of 22 ions, FM gates and gate-based reordering.
+    DesignPoint design = DesignPoint::linear(4, 22, GateImpl::FM,
+                                             ReorderMethod::GS);
+
+    // 3. Run the toolflow: map, route, schedule, and simulate with the
+    //    paper's performance, heating and fidelity models.
+    RunOptions options;
+    options.decomposeRuntime = true;
+    const RunResult result = runToolflow(app, design, options);
+
+    // 4. Inspect the metrics.
+    std::cout << summarizeRun(app.name(), design, result) << "\n";
+    std::cout << "  runtime:        " << result.totalTime() / kSecondUs
+              << " s\n";
+    std::cout << "  compute share:  " << result.computeOnlyTime / kSecondUs
+              << " s\n";
+    std::cout << "  comm share:     "
+              << result.communicationTime() / kSecondUs << " s\n";
+    std::cout << "  app fidelity:   " << result.fidelity() << "\n";
+    std::cout << "  max chain heat: " << result.sim.maxChainEnergy
+              << " quanta\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Walkthrough of the paper's Fig. 2d / Fig. 4 shuttling examples: a
+ * single cross-trap gate is compiled and every primitive QCCD
+ * instruction it expands into is printed, first on a two-trap device
+ * (split / move / merge) and then on a three-trap linear device where
+ * the shuttle passes *through* the middle trap (merge + chain reorder +
+ * split at the intermediate, exactly Fig. 4's steps).
+ */
+
+#include <iostream>
+
+#include "core/toolflow.hpp"
+#include "sim/analysis.hpp"
+#include "sim/isa.hpp"
+
+namespace
+{
+
+using namespace qccd;
+
+void
+walkthrough(const char *title, int traps, QubitId a, QubitId b,
+            int qubits)
+{
+    std::cout << "=== " << title << " ===\n";
+    Circuit circuit(qubits, "walkthrough");
+    for (QubitId q = 0; q < qubits; ++q)
+        circuit.h(q); // pin the first-use placement to index order
+    circuit.ms(a, b);
+
+    const DesignPoint dp = DesignPoint::linear(traps, 6);
+    const ScheduleResult result = runToolflowDetailed(circuit, dp);
+
+    std::cout << "compiled executable ("
+              << result.trace.size() << " primitives):\n"
+              << writeIsa(result.trace) << "\n";
+    std::cout << analyzeTrace(result.trace, dp.buildTopology()).report()
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    // Fig. 2d: adjacent traps, one split/move/merge plus the gate.
+    walkthrough("Fig. 2d: shuttle between adjacent traps", 2, 0, 4, 8);
+
+    // Fig. 4: non-adjacent traps on a linear device; the ion merges
+    // into the middle trap, the chain is reordered so the ion reaches
+    // the far end, and it splits out again.
+    walkthrough("Fig. 4: shuttle through an intermediate trap", 3, 0, 11,
+                12);
+    return 0;
+}

@@ -1,0 +1,97 @@
+#include "arch/builders.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+Topology
+makeLinear(int num_traps, int capacity, int segments_per_edge)
+{
+    fatalUnless(num_traps >= 1, "linear device needs at least one trap");
+    Topology topo;
+    std::vector<NodeId> traps;
+    traps.reserve(num_traps);
+    for (int i = 0; i < num_traps; ++i)
+        traps.push_back(topo.addTrap(capacity));
+    for (int i = 0; i + 1 < num_traps; ++i)
+        topo.connect(traps[i], traps[i + 1], segments_per_edge);
+    return topo;
+}
+
+Topology
+makeGrid(int rows, int cols, int capacity, int segments_per_edge)
+{
+    fatalUnless(rows >= 1, "grid device needs at least one row");
+    fatalUnless(cols >= 2, "grid device needs at least two columns");
+    Topology topo;
+    std::vector<std::vector<NodeId>> traps(rows, std::vector<NodeId>(cols));
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            traps[r][c] = topo.addTrap(capacity);
+
+    std::vector<NodeId> rail(cols);
+    for (int c = 0; c < cols; ++c)
+        rail[c] = topo.addJunction();
+
+    for (int c = 0; c < cols; ++c)
+        for (int r = 0; r < rows; ++r)
+            topo.connect(traps[r][c], rail[c], segments_per_edge);
+    for (int c = 0; c + 1 < cols; ++c)
+        topo.connect(rail[c], rail[c + 1], segments_per_edge);
+    return topo;
+}
+
+namespace
+{
+
+int
+parsePositiveInt(const std::string &text, const std::string &spec)
+{
+    fatalUnless(!text.empty(), "malformed topology spec '" + spec + "'");
+    for (char ch : text) {
+        fatalUnless(std::isdigit(static_cast<unsigned char>(ch)) != 0,
+                    "malformed topology spec '" + spec + "'");
+    }
+    const int value = std::stoi(text);
+    fatalUnless(value > 0, "topology spec sizes must be positive: '" +
+                spec + "'");
+    return value;
+}
+
+} // namespace
+
+Topology
+makeFromSpec(const std::string &spec, int capacity)
+{
+    std::string body;
+    bool linear = false;
+    if (spec.rfind("linear:", 0) == 0) {
+        linear = true;
+        body = spec.substr(7);
+    } else if (spec.rfind("grid:", 0) == 0) {
+        body = spec.substr(5);
+    } else if (!spec.empty() && (spec[0] == 'l' || spec[0] == 'L')) {
+        linear = true;
+        body = spec.substr(1);
+    } else if (!spec.empty() && (spec[0] == 'g' || spec[0] == 'G')) {
+        body = spec.substr(1);
+    } else {
+        throw ConfigError("unknown topology spec '" + spec + "'");
+    }
+
+    if (linear)
+        return makeLinear(parsePositiveInt(body, spec), capacity);
+
+    const size_t x = body.find('x');
+    fatalUnless(x != std::string::npos,
+                "grid spec must look like grid:RxC, got '" + spec + "'");
+    const int rows = parsePositiveInt(body.substr(0, x), spec);
+    const int cols = parsePositiveInt(body.substr(x + 1), spec);
+    return makeGrid(rows, cols, capacity);
+}
+
+} // namespace qccd

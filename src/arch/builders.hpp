@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Standard QCCD topology builders used in the paper's evaluation
+ * (Section VIII-B): LN linear devices (e.g. L6, the Honeywell-like
+ * topology) and GRxC junction-rail grid devices (e.g. G2x3, Fig. 2b).
+ */
+
+#ifndef QCCD_ARCH_BUILDERS_HPP
+#define QCCD_ARCH_BUILDERS_HPP
+
+#include <string>
+
+#include "arch/topology.hpp"
+
+namespace qccd
+{
+
+/**
+ * Build a linear device: @p num_traps traps in a row, adjacent traps
+ * connected directly by an edge of @p segments_per_edge segments.
+ *
+ * There are no junctions; a shuttle between non-adjacent traps passes
+ * through the intermediate traps (merge + reorder + split each).
+ */
+Topology makeLinear(int num_traps, int capacity, int segments_per_edge = 1);
+
+/**
+ * Build a grid device with @p rows x @p cols traps and a junction rail.
+ *
+ * Each column has one junction serving its @p rows traps (each trap
+ * connects to its column junction by one edge); the junctions form a
+ * rail. End-of-rail junctions are 3-way (Y) for rows == 2, interior
+ * junctions are 4-way (X), matching the paper's Fig. 2b layout where a
+ * 2x2 grid has 5 segments and 2 junctions. Shuttles never pass through
+ * intermediate traps.
+ *
+ * @pre rows >= 1, cols >= 2 (a single column would need no rail)
+ */
+Topology makeGrid(int rows, int cols, int capacity,
+                  int segments_per_edge = 1);
+
+/**
+ * Build a topology from a spec string:
+ *  - "linear:N" or "lN"  -> makeLinear(N, capacity)
+ *  - "grid:RxC" or "gRxC" -> makeGrid(R, C, capacity)
+ *
+ * @throws ConfigError on malformed specs.
+ */
+Topology makeFromSpec(const std::string &spec, int capacity);
+
+} // namespace qccd
+
+#endif // QCCD_ARCH_BUILDERS_HPP

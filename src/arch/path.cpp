@@ -1,0 +1,145 @@
+#include "arch/path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+int
+Path::throughTrapCount() const
+{
+    return static_cast<int>(std::count_if(
+        steps.begin(), steps.end(), [](const PathStep &s) {
+            return s.kind == PathStep::Kind::ThroughTrap;
+        }));
+}
+
+int
+Path::junctionCount() const
+{
+    return static_cast<int>(std::count_if(
+        steps.begin(), steps.end(), [](const PathStep &s) {
+            return s.kind == PathStep::Kind::Junction;
+        }));
+}
+
+int
+Path::segmentCount(const Topology &topo) const
+{
+    int total = 0;
+    for (const PathStep &s : steps)
+        if (s.kind == PathStep::Kind::Edge)
+            total += topo.edge(s.id).segments;
+    return total;
+}
+
+namespace
+{
+
+double
+nodeTraversalCost(const Topology &topo, NodeId n, const PathCost &cost)
+{
+    const TopoNode &node = topo.node(n);
+    if (node.kind == NodeKind::Trap)
+        return cost.trapPassThrough;
+    return topo.degree(n) == 3 ? cost.yJunction : cost.xJunction;
+}
+
+} // namespace
+
+PathFinder::PathFinder(const Topology &topo, const PathCost &cost)
+    : topo_(topo)
+{
+    fatalUnless(topo.trapCount() >= 1, "topology has no traps");
+    fatalUnless(topo.isConnected(), "topology must be connected");
+    paths_.resize(topo.trapCount());
+    for (TrapId t = 0; t < topo.trapCount(); ++t)
+        computeFrom(t, cost);
+}
+
+void
+PathFinder::computeFrom(TrapId src, const PathCost &cost)
+{
+    const NodeId source = topo_.trapNode(src);
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(topo_.nodeCount(), inf);
+    std::vector<NodeId> parentNode(topo_.nodeCount(), kInvalidId);
+    std::vector<EdgeId> parentEdge(topo_.nodeCount(), kInvalidId);
+
+    // Min-heap ordered by (distance, node id) for deterministic ties.
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.emplace(0.0, source);
+
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u])
+            continue;
+        // Leaving an intermediate node costs its traversal price.
+        const double leave_cost =
+            u == source ? 0.0 : nodeTraversalCost(topo_, u, cost);
+        for (EdgeId e : topo_.incidentEdges(u)) {
+            const TopoEdge &edge = topo_.edge(e);
+            const NodeId v = edge.other(u);
+            const double nd =
+                d + leave_cost + edge.segments * cost.perSegment;
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                parentNode[v] = u;
+                parentEdge[v] = e;
+                heap.emplace(nd, v);
+            }
+        }
+    }
+
+    paths_[src].resize(topo_.trapCount());
+    for (TrapId t = 0; t < topo_.trapCount(); ++t) {
+        Path &p = paths_[src][t];
+        p.src = source;
+        p.dst = topo_.trapNode(t);
+        p.cost = dist[p.dst];
+        if (t == src)
+            continue;
+        panicUnless(dist[p.dst] < inf, "unreachable trap in topology");
+
+        // Reconstruct dst -> src, then reverse into traversal order.
+        std::vector<PathStep> reversed;
+        NodeId cur = p.dst;
+        while (cur != source) {
+            reversed.push_back(
+                {PathStep::Kind::Edge, parentEdge[cur]});
+            const NodeId prev = parentNode[cur];
+            if (prev != source) {
+                const NodeKind kind = topo_.node(prev).kind;
+                reversed.push_back(
+                    {kind == NodeKind::Trap ? PathStep::Kind::ThroughTrap
+                                            : PathStep::Kind::Junction,
+                     prev});
+            }
+            cur = prev;
+        }
+        p.steps.assign(reversed.rbegin(), reversed.rend());
+    }
+}
+
+const Path &
+PathFinder::path(TrapId a, TrapId b) const
+{
+    panicUnless(a >= 0 && a < topo_.trapCount() && b >= 0 &&
+                b < topo_.trapCount(), "trap index out of range");
+    return paths_[a][b];
+}
+
+double
+PathFinder::cost(TrapId a, TrapId b) const
+{
+    return path(a, b).cost;
+}
+
+} // namespace qccd

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shortest-path shuttle routing over a QCCD topology.
+ *
+ * The compiler routes every inter-trap shuttle along the cheapest path
+ * where edges cost their transport time, junctions cost their crossing
+ * time, and passing *through* an intermediate trap costs the merge +
+ * reorder + split detour of Fig. 4 (a fixed routing estimate; the
+ * simulator later charges the exact cost).
+ */
+
+#ifndef QCCD_ARCH_PATH_HPP
+#define QCCD_ARCH_PATH_HPP
+
+#include <vector>
+
+#include "arch/topology.hpp"
+
+namespace qccd
+{
+
+/** Routing cost weights, in microseconds. */
+struct PathCost
+{
+    double perSegment = 5.0;      ///< one transport segment
+    double yJunction = 100.0;     ///< crossing a 3-way junction
+    double xJunction = 120.0;     ///< crossing a 4-way junction
+    /**
+     * Routing estimate for passing through an intermediate trap:
+     * merge (80) + split (80) + a nominal chain reorder allowance (300).
+     */
+    double trapPassThrough = 460.0;
+};
+
+/** One element of a routed path, in traversal order. */
+struct PathStep
+{
+    enum class Kind
+    {
+        Edge,        ///< traverse edge `id`
+        Junction,    ///< cross junction node `id`
+        ThroughTrap  ///< merge into / split out of trap node `id`
+    };
+
+    Kind kind;
+    int id; ///< EdgeId for Edge, NodeId otherwise
+};
+
+/** A routed path between two trap nodes. */
+struct Path
+{
+    NodeId src = kInvalidId;
+    NodeId dst = kInvalidId;
+    std::vector<PathStep> steps;
+    double cost = 0; ///< routing cost (us estimate)
+
+    /** Number of intermediate traps passed through. */
+    int throughTrapCount() const;
+
+    /** Number of junction crossings. */
+    int junctionCount() const;
+
+    /** Total segments moved across. */
+    int segmentCount(const Topology &topo) const;
+};
+
+/**
+ * All-pairs trap-to-trap shortest paths, precomputed with Dijkstra.
+ *
+ * Paths are deterministic: ties break toward lower node ids so repeated
+ * runs produce identical schedules.
+ */
+class PathFinder
+{
+  public:
+    PathFinder(const Topology &topo, const PathCost &cost);
+
+    /** The routed path from trap @p a to trap @p b (dense trap ids). */
+    const Path &path(TrapId a, TrapId b) const;
+
+    /** Routing cost between traps @p a and @p b. */
+    double cost(TrapId a, TrapId b) const;
+
+  private:
+    const Topology &topo_;
+    std::vector<std::vector<Path>> paths_; // [srcTrap][dstTrap]
+
+    void computeFrom(TrapId src, const PathCost &cost);
+};
+
+} // namespace qccd
+
+#endif // QCCD_ARCH_PATH_HPP

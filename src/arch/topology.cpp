@@ -1,0 +1,137 @@
+#include "arch/topology.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+NodeId
+Topology::addTrap(int capacity)
+{
+    fatalUnless(capacity >= 2, "trap capacity must be at least 2");
+    TopoNode node;
+    node.kind = NodeKind::Trap;
+    node.capacity = capacity;
+    node.trapIndex = static_cast<TrapId>(trapNodes_.size());
+    const NodeId id = nodeCount();
+    nodes_.push_back(node);
+    adjacency_.emplace_back();
+    trapNodes_.push_back(id);
+    return id;
+}
+
+NodeId
+Topology::addJunction()
+{
+    TopoNode node;
+    node.kind = NodeKind::Junction;
+    const NodeId id = nodeCount();
+    nodes_.push_back(node);
+    adjacency_.emplace_back();
+    return id;
+}
+
+EdgeId
+Topology::connect(NodeId a, NodeId b, int segments)
+{
+    fatalUnless(a >= 0 && a < nodeCount() && b >= 0 && b < nodeCount(),
+                "connect: node id out of range");
+    fatalUnless(a != b, "connect: self loops are not allowed");
+    fatalUnless(segments >= 1, "connect: edge needs at least one segment");
+    TopoEdge edge;
+    edge.a = a;
+    edge.b = b;
+    edge.segments = segments;
+    const EdgeId id = edgeCount();
+    edges_.push_back(edge);
+    adjacency_[a].push_back(id);
+    adjacency_[b].push_back(id);
+    return id;
+}
+
+int
+Topology::junctionCount() const
+{
+    return nodeCount() - trapCount();
+}
+
+const TopoNode &
+Topology::node(NodeId id) const
+{
+    panicUnless(id >= 0 && id < nodeCount(), "node id out of range");
+    return nodes_[id];
+}
+
+const TopoEdge &
+Topology::edge(EdgeId id) const
+{
+    panicUnless(id >= 0 && id < edgeCount(), "edge id out of range");
+    return edges_[id];
+}
+
+NodeId
+Topology::trapNode(TrapId t) const
+{
+    panicUnless(t >= 0 && t < trapCount(), "trap index out of range");
+    return trapNodes_[t];
+}
+
+const std::vector<EdgeId> &
+Topology::incidentEdges(NodeId id) const
+{
+    panicUnless(id >= 0 && id < nodeCount(), "node id out of range");
+    return adjacency_[id];
+}
+
+int
+Topology::degree(NodeId id) const
+{
+    return static_cast<int>(incidentEdges(id).size());
+}
+
+bool
+Topology::isConnected() const
+{
+    if (nodeCount() == 0)
+        return true;
+    std::vector<bool> seen(nodeCount(), false);
+    std::vector<NodeId> stack{0};
+    seen[0] = true;
+    int visited = 1;
+    while (!stack.empty()) {
+        const NodeId n = stack.back();
+        stack.pop_back();
+        for (EdgeId e : adjacency_[n]) {
+            const NodeId m = edges_[e].other(n);
+            if (!seen[m]) {
+                seen[m] = true;
+                ++visited;
+                stack.push_back(m);
+            }
+        }
+    }
+    return visited == nodeCount();
+}
+
+int
+Topology::totalCapacity() const
+{
+    int total = 0;
+    for (NodeId t : trapNodes_)
+        total += nodes_[t].capacity;
+    return total;
+}
+
+std::string
+Topology::summary() const
+{
+    std::ostringstream out;
+    out << trapCount() << " traps, " << junctionCount() << " junctions, "
+        << edgeCount() << " edges, capacity " << totalCapacity();
+    return out.str();
+}
+
+} // namespace qccd

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * QCCD device topology: a graph of traps and junctions connected by
+ * shuttling segments (paper Section III-B).
+ *
+ * Nodes are either Trap (holds an ion chain, has a capacity) or Junction
+ * (a 3-way "Y" or 4-way "X" crossing of shuttling paths). Edges are runs
+ * of one or more straight segments. Linear devices have no junctions:
+ * traps connect directly to neighbouring traps, and long shuttles must
+ * pass *through* intermediate traps (merge + reorder + split, Fig. 4).
+ */
+
+#ifndef QCCD_ARCH_TOPOLOGY_HPP
+#define QCCD_ARCH_TOPOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qccd
+{
+
+/** Kind of a topology node. */
+enum class NodeKind
+{
+    Trap,
+    Junction
+};
+
+/** One node of the device graph. */
+struct TopoNode
+{
+    NodeKind kind = NodeKind::Trap;
+    int capacity = 0;   ///< max ions (traps only)
+    TrapId trapIndex = kInvalidId; ///< dense trap numbering (traps only)
+};
+
+/** One edge of the device graph: a run of straight segments. */
+struct TopoEdge
+{
+    NodeId a = kInvalidId;
+    NodeId b = kInvalidId;
+    int segments = 1; ///< number of 5 us transport segments in the run
+
+    /** The endpoint opposite to @p from. */
+    NodeId other(NodeId from) const { return from == a ? b : a; }
+};
+
+/** Immutable-after-build device connectivity graph. */
+class Topology
+{
+  public:
+    /**
+     * Add a trap node.
+     *
+     * @param capacity maximum ions the trap can hold (>= 2)
+     * @return the new node id
+     */
+    NodeId addTrap(int capacity);
+
+    /** Add a junction node. @return the new node id */
+    NodeId addJunction();
+
+    /**
+     * Connect two distinct nodes with an edge of @p segments segments.
+     *
+     * @return the new edge id
+     */
+    EdgeId connect(NodeId a, NodeId b, int segments = 1);
+
+    int nodeCount() const { return static_cast<int>(nodes_.size()); }
+    int edgeCount() const { return static_cast<int>(edges_.size()); }
+    int trapCount() const { return static_cast<int>(trapNodes_.size()); }
+    int junctionCount() const;
+
+    const TopoNode &node(NodeId id) const;
+    const TopoEdge &edge(EdgeId id) const;
+
+    /** Node id of the dense trap index @p t. */
+    NodeId trapNode(TrapId t) const;
+
+    /** Edge ids incident to @p id. */
+    const std::vector<EdgeId> &incidentEdges(NodeId id) const;
+
+    /** Degree (incident edge count) of @p id. */
+    int degree(NodeId id) const;
+
+    /** True if the graph is connected (ignores isolated build order). */
+    bool isConnected() const;
+
+    /** Sum of trap capacities. */
+    int totalCapacity() const;
+
+    /** Human-readable summary, e.g. "6 traps, 0 junctions, 5 edges". */
+    std::string summary() const;
+
+  private:
+    std::vector<TopoNode> nodes_;
+    std::vector<TopoEdge> edges_;
+    std::vector<std::vector<EdgeId>> adjacency_;
+    std::vector<NodeId> trapNodes_;
+};
+
+} // namespace qccd
+
+#endif // QCCD_ARCH_TOPOLOGY_HPP

@@ -1,0 +1,76 @@
+#include "benchgen/benchgen.hpp"
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+namespace
+{
+
+/** Toffoli via the standard 6-CX / 7-T Clifford+T network. */
+void
+emitToffoli(Circuit &c, QubitId a, QubitId b, QubitId t)
+{
+    c.h(t);
+    c.cx(b, t);
+    c.tdg(t);
+    c.cx(a, t);
+    c.t(t);
+    c.cx(b, t);
+    c.tdg(t);
+    c.cx(a, t);
+    c.t(b);
+    c.t(t);
+    c.cx(a, b);
+    c.h(t);
+    c.t(a);
+    c.tdg(b);
+    c.cx(a, b);
+}
+
+/** Cuccaro MAJ block. */
+void
+emitMaj(Circuit &c, QubitId x, QubitId y, QubitId z)
+{
+    c.cx(z, y);
+    c.cx(z, x);
+    emitToffoli(c, x, y, z);
+}
+
+/** Cuccaro UMA (2-CNOT variant) block. */
+void
+emitUma(Circuit &c, QubitId x, QubitId y, QubitId z)
+{
+    emitToffoli(c, x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+}
+
+} // namespace
+
+Circuit
+makeAdder(int bits)
+{
+    fatalUnless(bits >= 1, "adder needs at least one bit");
+    // Layout: [c0, a0, b0, a1, b1, ...] so the ripple stays short-range.
+    const int n = 2 * bits + 1;
+    Circuit circuit(n, "adder" + std::to_string(bits));
+    const QubitId carry = 0;
+    auto a = [](int i) { return 1 + 2 * i; };
+    auto b = [](int i) { return 2 + 2 * i; };
+
+    // Cuccaro ripple-carry adder: MAJ ripple up, UMA ripple down.
+    emitMaj(circuit, carry, b(0), a(0));
+    for (int i = 1; i < bits; ++i)
+        emitMaj(circuit, a(i - 1), b(i), a(i));
+    for (int i = bits - 1; i >= 1; --i)
+        emitUma(circuit, a(i - 1), b(i), a(i));
+    emitUma(circuit, carry, b(0), a(0));
+
+    for (int i = 0; i < bits; ++i)
+        circuit.measure(b(i));
+    return circuit;
+}
+
+} // namespace qccd

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * NISQ benchmark generators for the paper's application suite (Table II).
+ *
+ * All generators emit IR in the general gate set; callers lower with
+ * decomposeToNative() before compilation. Generated qubit and two-qubit
+ * gate counts target Table II (64-78 qubits, 500-4000 two-qubit gates);
+ * the exact generated counts are reported by bench/table2_applications
+ * and recorded in EXPERIMENTS.md.
+ */
+
+#ifndef QCCD_BENCHGEN_BENCHGEN_HPP
+#define QCCD_BENCHGEN_BENCHGEN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qccd
+{
+
+/**
+ * Quantum Fourier Transform on @p n qubits: the canonical all-distances
+ * kernel. qubit i is Hadamarded then controlled-phase coupled to every
+ * later qubit, so every pair interacts once. With the CPhase -> 2 MS
+ * lowering this yields n*(n-1) native two-qubit gates (4032 at n = 64,
+ * matching Table II).
+ */
+Circuit makeQft(int n);
+
+/**
+ * Bernstein-Vazirani on @p n data qubits plus one ancilla (n+1 total).
+ * The secret string is drawn from @p seed with on average half the bits
+ * set; secret bits couple their data qubit to the shared ancilla, giving
+ * the short-and-long-range pattern of Table II. With @p full_secret the
+ * secret is all ones and the circuit has exactly n CX gates (the paper's
+ * 64-gate configuration at n = 64).
+ */
+Circuit makeBv(int n, uint64_t seed = 7, bool full_secret = true);
+
+/**
+ * Cuccaro-style ripple-carry adder computing b += a on two
+ * @p bits - bit registers with one carry ancilla (2*bits + 1 qubits,
+ * short-range gates). bits = 31 gives 63 qubits; bits = 32 gives 65.
+ * Toffolis lower to the standard 6-CX network.
+ */
+Circuit makeAdder(int bits);
+
+/**
+ * QAOA hardware-efficient ansatz (Moll et al. 2018) on @p n qubits:
+ * @p layers layers of nearest-neighbour ZZ interactions on a line, each
+ * followed by RX mixers. Each layer has n-1 two-qubit ZZ terms; ZZ
+ * lowers to 2 CX. 64 qubits x 10 layers = 1260 CX, matching Table II.
+ */
+Circuit makeQaoa(int n, int layers = 10, uint64_t seed = 11);
+
+/**
+ * Google-supremacy-style random circuit on a @p rows x @p cols qubit
+ * grid: alternating layers of nearest-neighbour two-qubit gates from
+ * the four grid patterns, with random single-qubit gates between, until
+ * @p target_two_qubit_gates two-qubit gates are placed (560 for 8x8 at
+ * the paper's configuration).
+ */
+Circuit makeSupremacy(int rows, int cols, int target_two_qubit_gates = 560,
+                      uint64_t seed = 23);
+
+/**
+ * Grover/SquareRoot search (the ScaffCC SquareRoot proxy): @p search
+ * search qubits, a Toffoli-ladder oracle over search-2 scratch
+ * ancillas, and the diffusion operator, iterated @p iterations times.
+ * Qubit count is 2*search (search + scratch + oracle pair); search = 39
+ * gives Table II's 78 qubits with the irregular short-and-long-range
+ * pattern the paper describes.
+ */
+Circuit makeSquareRoot(int search = 39, int iterations = 1);
+
+/**
+ * Extension workload (beyond Table II): GHZ state preparation on @p n
+ * qubits - a single sequential CX ladder, the minimal-parallelism
+ * stress case.
+ */
+Circuit makeGhz(int n);
+
+/**
+ * Extension workload (beyond Table II): hardware-efficient VQE ansatz
+ * (Kandala et al. 2017 style) on @p n qubits with @p layers layers of
+ * Euler rotations, a CX ladder and sparse longer-range ZZ couplings -
+ * the near-term chemistry workload the paper's introduction motivates.
+ */
+Circuit makeVqe(int n, int layers = 4, uint64_t seed = 31);
+
+/** Named constructor registry for CLI/bench use. */
+struct BenchmarkSpec
+{
+    std::string name;        ///< "qft", "bv", "adder", ...
+    std::string description; ///< one-line summary
+};
+
+/** All registered benchmark names, in Table II order. */
+std::vector<BenchmarkSpec> benchmarkList();
+
+/**
+ * Build a Table II application by name at its paper-scale size:
+ * supremacy(8x8), qaoa(64), squareroot(38), qft(64), adder(31), bv(64).
+ *
+ * @throws ConfigError for unknown names.
+ */
+Circuit makeBenchmark(const std::string &name);
+
+/** Build a scaled-down variant for fast tests: roughly @p n qubits. */
+Circuit makeBenchmarkSized(const std::string &name, int n);
+
+} // namespace qccd
+
+#endif // QCCD_BENCHGEN_BENCHGEN_HPP

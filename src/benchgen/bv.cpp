@@ -1,0 +1,38 @@
+#include "benchgen/benchgen.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qccd
+{
+
+Circuit
+makeBv(int n, uint64_t seed, bool full_secret)
+{
+    fatalUnless(n >= 1, "BV needs at least one data qubit");
+    Circuit circuit(n + 1, "bv" + std::to_string(n));
+    const QubitId ancilla = n;
+
+    // Prepare |-> on the ancilla and |+> on the data register.
+    circuit.x(ancilla);
+    circuit.h(ancilla);
+    for (QubitId q = 0; q < n; ++q)
+        circuit.h(q);
+
+    // Oracle: CX from each secret bit's qubit into the ancilla. The
+    // paper's 64-gate configuration corresponds to the all-ones secret.
+    Rng rng(seed);
+    for (QubitId q = 0; q < n; ++q) {
+        const bool bit = full_secret || rng.nextBool();
+        if (bit)
+            circuit.cx(q, ancilla);
+    }
+
+    for (QubitId q = 0; q < n; ++q)
+        circuit.h(q);
+    for (QubitId q = 0; q < n; ++q)
+        circuit.measure(q);
+    return circuit;
+}
+
+} // namespace qccd

@@ -1,0 +1,60 @@
+#include "benchgen/benchgen.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qccd
+{
+
+Circuit
+makeGhz(int n)
+{
+    fatalUnless(n >= 2, "GHZ needs at least two qubits");
+    Circuit circuit(n, "ghz" + std::to_string(n));
+    // H then a CX ladder: nearest-neighbour but strictly sequential, a
+    // worst case for parallelism and a stress test for single long
+    // dependency chains across the device.
+    circuit.h(0);
+    for (QubitId q = 0; q + 1 < n; ++q)
+        circuit.cx(q, q + 1);
+    circuit.measureAll();
+    return circuit;
+}
+
+Circuit
+makeVqe(int n, int layers, uint64_t seed)
+{
+    fatalUnless(n >= 2, "VQE ansatz needs at least two qubits");
+    fatalUnless(layers >= 1, "VQE ansatz needs at least one layer");
+    Circuit circuit(n, "vqe" + std::to_string(n));
+    constexpr double pi = std::numbers::pi;
+    Rng rng(seed);
+
+    // Hardware-efficient VQE ansatz (Kandala et al. 2017 style): layers
+    // of single-qubit Euler rotations followed by an entangling ladder,
+    // plus a sparse set of longer-range ZZ terms standing in for
+    // molecular Hamiltonian couplings - the near-term chemistry
+    // workload the paper's introduction motivates.
+    for (int layer = 0; layer < layers; ++layer) {
+        for (QubitId q = 0; q < n; ++q) {
+            circuit.rz(q, rng.nextDouble() * 2 * pi);
+            circuit.rx(q, rng.nextDouble() * 2 * pi);
+            circuit.rz(q, rng.nextDouble() * 2 * pi);
+        }
+        for (QubitId q = 0; q + 1 < n; ++q)
+            circuit.cx(q, q + 1);
+        // Sparse long-range couplings: qubit q to q + n/4.
+        const int stride = std::max(n / 4, 2);
+        for (QubitId q = 0; q + stride < n; q += stride) {
+            circuit.cx(q, q + stride);
+            circuit.rz(q + stride, rng.nextDouble() * pi);
+            circuit.cx(q, q + stride);
+        }
+    }
+    circuit.measureAll();
+    return circuit;
+}
+
+} // namespace qccd

@@ -1,0 +1,41 @@
+#include "benchgen/benchgen.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qccd
+{
+
+Circuit
+makeQaoa(int n, int layers, uint64_t seed)
+{
+    fatalUnless(n >= 2, "QAOA needs at least two qubits");
+    fatalUnless(layers >= 1, "QAOA needs at least one layer");
+    Circuit circuit(n, "qaoa" + std::to_string(n));
+    constexpr double pi = std::numbers::pi;
+    Rng rng(seed);
+
+    for (QubitId q = 0; q < n; ++q)
+        circuit.h(q);
+
+    // Hardware-efficient ansatz (Moll et al. 2018): entangler layers of
+    // nearest-neighbour ZZ interactions on a line, interleaved with RX
+    // mixers. ZZ(theta) lowers to CX, RZ, CX.
+    for (int layer = 0; layer < layers; ++layer) {
+        const double gamma = rng.nextDouble() * pi;
+        const double beta = rng.nextDouble() * pi;
+        for (QubitId q = 0; q + 1 < n; ++q) {
+            circuit.cx(q, q + 1);
+            circuit.rz(q + 1, 2 * gamma);
+            circuit.cx(q, q + 1);
+        }
+        for (QubitId q = 0; q < n; ++q)
+            circuit.rx(q, 2 * beta);
+    }
+    circuit.measureAll();
+    return circuit;
+}
+
+} // namespace qccd

@@ -1,0 +1,30 @@
+#include "benchgen/benchgen.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+Circuit
+makeQft(int n)
+{
+    fatalUnless(n >= 1, "QFT needs at least one qubit");
+    Circuit circuit(n, "qft" + std::to_string(n));
+    constexpr double pi = std::numbers::pi;
+
+    // Standard textbook QFT network: H on qubit i, then controlled
+    // phase rotations of angle pi/2^(j-i) from every later qubit j.
+    for (QubitId i = 0; i < n; ++i) {
+        circuit.h(i);
+        for (QubitId j = i + 1; j < n; ++j)
+            circuit.cphase(j, i, pi / static_cast<double>(1 << (j - i)));
+    }
+    // The trailing bit-reversal swaps are conventionally elided on
+    // hardware by relabeling outputs, as the paper's frontends do.
+    circuit.measureAll();
+    return circuit;
+}
+
+} // namespace qccd

@@ -1,0 +1,79 @@
+#include "benchgen/benchgen.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+std::vector<BenchmarkSpec>
+benchmarkList()
+{
+    return {
+        {"supremacy", "Google-style random circuit, 8x8 grid, 560 2q gates"},
+        {"qaoa", "QAOA hardware-efficient ansatz, 64 qubits, NN pattern"},
+        {"squareroot", "Grover search (ScaffCC SquareRoot proxy), 78 qubits"},
+        {"qft", "Quantum Fourier Transform, 64 qubits, all distances"},
+        {"adder", "Cuccaro ripple-carry adder, 63 qubits, short range"},
+        {"bv", "Bernstein-Vazirani, 64 qubits, shared-ancilla pattern"},
+        // Extensions beyond Table II.
+        {"ghz", "GHZ ladder, 64 qubits, sequential nearest neighbor"},
+        {"vqe", "hardware-efficient VQE ansatz, 64 qubits, mixed range"},
+    };
+}
+
+Circuit
+makeBenchmark(const std::string &name)
+{
+    // Paper-scale instantiations (Table II).
+    if (name == "supremacy")
+        return makeSupremacy(8, 8, 560);
+    if (name == "qaoa")
+        return makeQaoa(64, 10);
+    if (name == "squareroot")
+        return makeSquareRoot(39, 1);
+    if (name == "qft")
+        return makeQft(64);
+    if (name == "adder")
+        return makeAdder(31);
+    if (name == "bv")
+        return makeBv(63);
+    if (name == "ghz")
+        return makeGhz(64);
+    if (name == "vqe")
+        return makeVqe(64, 4);
+    throw ConfigError("unknown benchmark '" + name + "'");
+}
+
+Circuit
+makeBenchmarkSized(const std::string &name, int n)
+{
+    fatalUnless(n >= 4, "sized benchmarks need at least 4 qubits");
+    if (name == "supremacy") {
+        // Nearest square-ish grid with at least 4 qubits.
+        int rows = 2;
+        while ((rows + 1) * (rows + 1) <= n)
+            ++rows;
+        const int cols = std::max(2, n / rows);
+        return makeSupremacy(rows, cols,
+                             std::max(1, rows * cols * 9));
+    }
+    if (name == "qaoa")
+        return makeQaoa(n, 10);
+    if (name == "squareroot")
+        return makeSquareRoot(std::max(3, (n - 2) / 2), 1);
+    if (name == "qft")
+        return makeQft(n);
+    if (name == "adder")
+        return makeAdder(std::max(1, (n - 1) / 2));
+    if (name == "bv")
+        return makeBv(n - 1);
+    if (name == "ghz")
+        return makeGhz(n);
+    if (name == "vqe")
+        return makeVqe(n, 4);
+    throw ConfigError("unknown benchmark '" + name + "'");
+}
+
+} // namespace qccd

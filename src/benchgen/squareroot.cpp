@@ -1,0 +1,119 @@
+#include "benchgen/benchgen.hpp"
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+namespace
+{
+
+/** Toffoli via the standard 6-CX network (same as the adder's). */
+void
+emitToffoli(Circuit &c, QubitId a, QubitId b, QubitId t)
+{
+    c.h(t);
+    c.cx(b, t);
+    c.tdg(t);
+    c.cx(a, t);
+    c.t(t);
+    c.cx(b, t);
+    c.tdg(t);
+    c.cx(a, t);
+    c.t(b);
+    c.t(t);
+    c.cx(a, b);
+    c.h(t);
+    c.t(a);
+    c.tdg(b);
+    c.cx(a, b);
+}
+
+/**
+ * Compute the AND of @p inputs into @p target via a Toffoli ladder over
+ * @p scratch (|inputs| - 2 ancillas used), then uncompute the ladder.
+ * The ladder couples qubits across the whole register, which is what
+ * gives the SquareRoot benchmark its irregular short-and-long-range
+ * communication pattern.
+ */
+void
+emitMultiControl(Circuit &c, const std::vector<QubitId> &inputs,
+                 const std::vector<QubitId> &scratch, QubitId target)
+{
+    const int k = static_cast<int>(inputs.size());
+    panicUnless(k >= 2, "multi-control needs at least two inputs");
+    if (k == 2) {
+        emitToffoli(c, inputs[0], inputs[1], target);
+        return;
+    }
+    panicUnless(static_cast<int>(scratch.size()) >= k - 2,
+                "not enough scratch ancillas for the Toffoli ladder");
+
+    emitToffoli(c, inputs[0], inputs[1], scratch[0]);
+    for (int i = 2; i < k - 1; ++i)
+        emitToffoli(c, inputs[i], scratch[i - 2], scratch[i - 1]);
+    emitToffoli(c, inputs[k - 1], scratch[k - 3], target);
+    for (int i = k - 2; i >= 2; --i)
+        emitToffoli(c, inputs[i], scratch[i - 2], scratch[i - 1]);
+    emitToffoli(c, inputs[0], inputs[1], scratch[0]);
+}
+
+} // namespace
+
+Circuit
+makeSquareRoot(int search, int iterations)
+{
+    fatalUnless(search >= 3, "SquareRoot needs at least 3 search qubits");
+    fatalUnless(iterations >= 1, "SquareRoot needs at least 1 iteration");
+
+    // Layout: [search | scratch ancillas | oracle target].
+    const int scratch = search - 2;
+    const int n = search + scratch + 2;
+    Circuit circuit(n, "squareroot" + std::to_string(n));
+
+    std::vector<QubitId> inputs(search);
+    for (int i = 0; i < search; ++i)
+        inputs[i] = i;
+    std::vector<QubitId> anc(scratch);
+    for (int i = 0; i < scratch; ++i)
+        anc[i] = search + i;
+    const QubitId oracle_target = n - 2;
+    const QubitId oracle_flag = n - 1;
+
+    // Phase-kickback target |->.
+    circuit.x(oracle_flag);
+    circuit.h(oracle_flag);
+    for (QubitId q : inputs)
+        circuit.h(q);
+
+    for (int it = 0; it < iterations; ++it) {
+        // Oracle: mark the all-ones string (stand-in for the ScaffCC
+        // SquareRoot predicate; the gate pattern, not the marked value,
+        // drives communication behaviour).
+        emitMultiControl(circuit, inputs, anc, oracle_target);
+        circuit.cx(oracle_target, oracle_flag);
+        emitMultiControl(circuit, inputs, anc, oracle_target);
+
+        // Diffusion: H X [multi-controlled Z] X H over search qubits.
+        for (QubitId q : inputs) {
+            circuit.h(q);
+            circuit.x(q);
+        }
+        circuit.h(inputs[search - 1]);
+        emitMultiControl(
+            circuit,
+            std::vector<QubitId>(inputs.begin(), inputs.end() - 1), anc,
+            inputs[search - 1]);
+        circuit.h(inputs[search - 1]);
+        for (QubitId q : inputs) {
+            circuit.x(q);
+            circuit.h(q);
+        }
+    }
+
+    for (QubitId q : inputs)
+        circuit.measure(q);
+    return circuit;
+}
+
+} // namespace qccd

@@ -1,0 +1,88 @@
+#include "benchgen/benchgen.hpp"
+
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qccd
+{
+
+namespace
+{
+
+/**
+ * The four nearest-neighbour coupler activation patterns of a
+ * supremacy-style grid circuit: horizontal pairs starting at even or odd
+ * columns, and vertical pairs starting at even or odd rows.
+ */
+std::vector<std::pair<QubitId, QubitId>>
+patternPairs(int rows, int cols, int pattern)
+{
+    std::vector<std::pair<QubitId, QubitId>> pairs;
+    auto idx = [cols](int r, int c) { return r * cols + c; };
+    const bool horizontal = pattern < 2;
+    const int offset = pattern % 2;
+    if (horizontal) {
+        for (int r = 0; r < rows; ++r)
+            for (int c = offset; c + 1 < cols; c += 2)
+                pairs.emplace_back(idx(r, c), idx(r, c + 1));
+    } else {
+        for (int r = offset; r + 1 < rows; r += 2)
+            for (int c = 0; c < cols; ++c)
+                pairs.emplace_back(idx(r, c), idx(r + 1, c));
+    }
+    return pairs;
+}
+
+} // namespace
+
+Circuit
+makeSupremacy(int rows, int cols, int target_two_qubit_gates, uint64_t seed)
+{
+    fatalUnless(rows >= 2 && cols >= 2,
+                "supremacy grid needs at least 2x2 qubits");
+    fatalUnless(target_two_qubit_gates >= 1,
+                "supremacy needs a positive two-qubit gate target");
+    const int n = rows * cols;
+    Circuit circuit(n, "supremacy" + std::to_string(rows) + "x" +
+                    std::to_string(cols));
+    constexpr double pi = std::numbers::pi;
+    Rng rng(seed);
+
+    for (QubitId q = 0; q < n; ++q)
+        circuit.h(q);
+
+    // Alternate through the four coupler patterns; between two-qubit
+    // layers every active qubit gets a random sqrt-gate-style rotation,
+    // as in the Google supremacy circuits.
+    int placed = 0;
+    int layer = 0;
+    while (placed < target_two_qubit_gates) {
+        const auto pairs = patternPairs(rows, cols, layer % 4);
+        ++layer;
+        for (const auto &[a, b] : pairs) {
+            if (placed >= target_two_qubit_gates)
+                break;
+            const int pick_a = rng.nextInt(0, 2);
+            const int pick_b = rng.nextInt(0, 2);
+            auto rot = [&](QubitId q, int pick) {
+                if (pick == 0)
+                    circuit.rx(q, pi / 2);
+                else if (pick == 1)
+                    circuit.ry(q, pi / 2);
+                else
+                    circuit.rz(q, pi / 2);
+            };
+            rot(a, pick_a);
+            rot(b, pick_b);
+            circuit.cz(a, b);
+            ++placed;
+        }
+    }
+    circuit.measureAll();
+    return circuit;
+}
+
+} // namespace qccd

@@ -1,0 +1,136 @@
+#include "circuit/gate.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+std::string
+opName(Op op)
+{
+    switch (op) {
+      case Op::H: return "h";
+      case Op::X: return "x";
+      case Op::Y: return "y";
+      case Op::Z: return "z";
+      case Op::S: return "s";
+      case Op::Sdg: return "sdg";
+      case Op::T: return "t";
+      case Op::Tdg: return "tdg";
+      case Op::RX: return "rx";
+      case Op::RY: return "ry";
+      case Op::RZ: return "rz";
+      case Op::CX: return "cx";
+      case Op::CZ: return "cz";
+      case Op::CPhase: return "cphase";
+      case Op::MS: return "ms";
+      case Op::Swap: return "swap";
+      case Op::Measure: return "measure";
+      case Op::Barrier: return "barrier";
+    }
+    throw InternalError("unknown Op");
+}
+
+int
+opArity(Op op)
+{
+    if (op == Op::Barrier)
+        return 0;
+    return isTwoQubit(op) ? 2 : 1;
+}
+
+bool
+isTwoQubit(Op op)
+{
+    switch (op) {
+      case Op::CX:
+      case Op::CZ:
+      case Op::CPhase:
+      case Op::MS:
+      case Op::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opHasParam(Op op)
+{
+    switch (op) {
+      case Op::RX:
+      case Op::RY:
+      case Op::RZ:
+      case Op::CPhase:
+      case Op::MS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isNative(Op op)
+{
+    if (op == Op::MS || op == Op::Measure)
+        return true;
+    return !isTwoQubit(op) && op != Op::Barrier;
+}
+
+Gate
+Gate::one(Op op, QubitId q, double param)
+{
+    panicUnless(opArity(op) == 1 && op != Op::Measure,
+                "Gate::one requires a one-qubit unitary op");
+    Gate g;
+    g.op = op;
+    g.q0 = q;
+    g.param = param;
+    return g;
+}
+
+Gate
+Gate::two(Op op, QubitId a, QubitId b, double param)
+{
+    panicUnless(qccd::isTwoQubit(op), "Gate::two requires a two-qubit op");
+    panicUnless(a != b, "two-qubit gate operands must differ");
+    Gate g;
+    g.op = op;
+    g.q0 = a;
+    g.q1 = b;
+    g.param = param;
+    return g;
+}
+
+Gate
+Gate::measure(QubitId q)
+{
+    Gate g;
+    g.op = Op::Measure;
+    g.q0 = q;
+    return g;
+}
+
+bool
+Gate::isOneQubit() const
+{
+    return opArity(op) == 1 && op != Op::Measure;
+}
+
+std::string
+Gate::toString() const
+{
+    std::ostringstream out;
+    out << opName(op);
+    if (opHasParam(op))
+        out << "(" << param << ")";
+    if (opArity(op) >= 1)
+        out << " q" << q0;
+    if (opArity(op) == 2)
+        out << ", q" << q1;
+    return out.str();
+}
+
+} // namespace qccd

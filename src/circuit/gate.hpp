@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Gate vocabulary for the QCCDSim circuit IR.
+ *
+ * The IR is a flat gate sequence with data dependencies only (quantum
+ * programs have no control dependencies after full unrolling, paper
+ * Section VI). Gates are either one-qubit rotations/Cliffords, two-qubit
+ * entangling gates, or measurements. The native trapped-ion basis is
+ * {one-qubit rotations, MS}; decompose.hpp lowers everything else.
+ */
+
+#ifndef QCCD_CIRCUIT_GATE_HPP
+#define QCCD_CIRCUIT_GATE_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace qccd
+{
+
+/** Operation names understood by the IR. */
+enum class Op
+{
+    // One-qubit gates.
+    H, X, Y, Z, S, Sdg, T, Tdg, RX, RY, RZ,
+    // Two-qubit gates.
+    CX, CZ, CPhase, MS, Swap,
+    // Non-unitary.
+    Measure,
+    Barrier
+};
+
+/** Lowercase OpenQASM-style mnemonic ("cx", "rz", "ms", ...). */
+std::string opName(Op op);
+
+/** Number of qubit operands of @p op (Barrier reports 0). */
+int opArity(Op op);
+
+/** True if @p op is a two-qubit gate. */
+bool isTwoQubit(Op op);
+
+/** True if @p op takes an angle parameter (RX/RY/RZ/CPhase/MS). */
+bool opHasParam(Op op);
+
+/** True if @p op is native to the QCCD trap ({1q, MS, Measure}). */
+bool isNative(Op op);
+
+/** One gate of the IR. */
+struct Gate
+{
+    Op op = Op::Barrier;
+    QubitId q0 = kInvalidId; ///< first operand
+    QubitId q1 = kInvalidId; ///< second operand (two-qubit gates only)
+    double param = 0;        ///< rotation angle where applicable
+
+    /** Make a one-qubit gate. */
+    static Gate one(Op op, QubitId q, double param = 0);
+
+    /** Make a two-qubit gate. */
+    static Gate two(Op op, QubitId a, QubitId b, double param = 0);
+
+    /** Make a measurement. */
+    static Gate measure(QubitId q);
+
+    bool isTwoQubit() const { return qccd::isTwoQubit(op); }
+    bool isMeasure() const { return op == Op::Measure; }
+    bool isOneQubit() const;
+
+    /** "cx q3, q7" style rendering for diagnostics. */
+    std::string toString() const;
+};
+
+} // namespace qccd
+
+#endif // QCCD_CIRCUIT_GATE_HPP

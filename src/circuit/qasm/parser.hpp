@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Recursive-descent parser for the OpenQASM 2.0 subset QCCDSim accepts.
+ *
+ * Supported constructs:
+ *  - `OPENQASM 2.0;` header and `include "qelib1.inc";` (include is a
+ *    no-op: the qelib gates QCCDSim understands are built in);
+ *  - `qreg name[n];` (multiple registers concatenate into one qubit
+ *    index space) and `creg name[n];` (recorded, otherwise ignored);
+ *  - applications of the built-in gates h, x, y, z, s, sdg, t, tdg,
+ *    rx(.), ry(.), rz(.), u1(.), cx, CX, cz, cp(.)/cu1(.), swap,
+ *    rzz(.), ms(.)/rxx(.) with qubit or whole-register operands;
+ *  - `measure q[i] -> c[j];` and `measure q -> c;`;
+ *  - `barrier ...;` (kept as an IR barrier);
+ *  - user-defined `gate` bodies are parsed and inlined (one level of
+ *    expansion per definition, definitions may reference earlier ones).
+ *
+ * Angle expressions support +, -, *, /, unary minus, parentheses, `pi`,
+ * and numeric literals.
+ */
+
+#ifndef QCCD_CIRCUIT_QASM_PARSER_HPP
+#define QCCD_CIRCUIT_QASM_PARSER_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qccd::qasm
+{
+
+/**
+ * Parse OpenQASM 2.0 source text into a Circuit.
+ *
+ * @param source QASM program text
+ * @param name name to give the resulting circuit
+ * @throws ConfigError with line info on syntax or semantic errors
+ */
+Circuit parse(const std::string &source, const std::string &name = "qasm");
+
+/** Parse a QASM file from disk. @throws ConfigError if unreadable. */
+Circuit parseFile(const std::string &path);
+
+} // namespace qccd::qasm
+
+#endif // QCCD_CIRCUIT_QASM_PARSER_HPP

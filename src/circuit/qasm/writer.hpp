@@ -1,0 +1,32 @@
+/**
+ * @file
+ * OpenQASM 2.0 emission for Circuit IR, the inverse of parser.hpp.
+ *
+ * Useful for exporting generated workloads to other toolchains and for
+ * round-trip testing the parser.
+ */
+
+#ifndef QCCD_CIRCUIT_QASM_WRITER_HPP
+#define QCCD_CIRCUIT_QASM_WRITER_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qccd::qasm
+{
+
+/**
+ * Render @p circuit as OpenQASM 2.0 with a single qreg `q` and creg `c`.
+ *
+ * MS gates are emitted as `rxx`, CPhase as `cp`; both parse back to the
+ * same IR ops.
+ */
+std::string write(const Circuit &circuit);
+
+/** Write @p circuit to @p path. @throws ConfigError if unwritable. */
+void writeFile(const Circuit &circuit, const std::string &path);
+
+} // namespace qccd::qasm
+
+#endif // QCCD_CIRCUIT_QASM_WRITER_HPP

@@ -1,0 +1,69 @@
+#include "circuit/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qccd
+{
+
+std::string
+CircuitStats::patternLabel() const
+{
+    if (twoQubitGates == 0)
+        return "no two-qubit gates";
+    const double span = std::max(numQubits - 1, 1);
+    const double mean_frac = meanInteractionDistance / span;
+    const double max_frac = maxInteractionDistance / span;
+    if (maxInteractionDistance <= 1)
+        return "nearest neighbor";
+    // A circuit touching nearly every distance with a large mean is
+    // all-to-all-like (QFT); long max but small mean is mixed.
+    if (mean_frac > 0.25 && max_frac > 0.9)
+        return "all distances";
+    if (max_frac > 0.5)
+        return "short and long-range";
+    return "short range";
+}
+
+CircuitStats
+computeStats(const Circuit &circuit)
+{
+    CircuitStats stats;
+    stats.numQubits = circuit.numQubits();
+    stats.interactionDistance.assign(
+        std::max(circuit.numQubits(), 1), 0);
+
+    std::vector<int> level(circuit.numQubits(), 0);
+    long distance_sum = 0;
+
+    for (const Gate &g : circuit.gates()) {
+        if (g.op == Op::Barrier)
+            continue;
+        if (g.isTwoQubit()) {
+            ++stats.twoQubitGates;
+            const int d = std::abs(g.q0 - g.q1);
+            ++stats.interactionDistance[d];
+            distance_sum += d;
+            stats.maxInteractionDistance =
+                std::max(stats.maxInteractionDistance, d);
+            const int lvl = std::max(level[g.q0], level[g.q1]) + 1;
+            level[g.q0] = lvl;
+            level[g.q1] = lvl;
+        } else {
+            if (g.isMeasure())
+                ++stats.measurements;
+            else
+                ++stats.oneQubitGates;
+            ++level[g.q0];
+        }
+    }
+
+    stats.depth = *std::max_element(level.begin(), level.end());
+    if (stats.twoQubitGates > 0) {
+        stats.meanInteractionDistance =
+            static_cast<double>(distance_sum) / stats.twoQubitGates;
+    }
+    return stats;
+}
+
+} // namespace qccd

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Static circuit statistics: gate counts, logical depth, and the
+ * interaction-distance histogram used to characterize communication
+ * patterns (paper Table II's "Communication Pattern" column).
+ */
+
+#ifndef QCCD_CIRCUIT_STATS_HPP
+#define QCCD_CIRCUIT_STATS_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qccd
+{
+
+/** Aggregate static properties of a circuit. */
+struct CircuitStats
+{
+    int numQubits = 0;
+    int oneQubitGates = 0;
+    int twoQubitGates = 0;
+    int measurements = 0;
+
+    /** Logical depth counting every non-barrier op as one level. */
+    int depth = 0;
+
+    /** Histogram of |q0 - q1| over two-qubit gates (index = distance). */
+    std::vector<int> interactionDistance;
+
+    /** Mean |q0 - q1| over two-qubit gates (0 when none). */
+    double meanInteractionDistance = 0;
+
+    /** Max |q0 - q1| over two-qubit gates (0 when none). */
+    int maxInteractionDistance = 0;
+
+    /**
+     * Communication pattern label derived from the histogram, mirroring
+     * Table II's vocabulary: "nearest neighbor", "short range",
+     * "short and long-range" or "all distances".
+     */
+    std::string patternLabel() const;
+};
+
+/** Compute statistics for @p circuit. */
+CircuitStats computeStats(const Circuit &circuit);
+
+} // namespace qccd
+
+#endif // QCCD_CIRCUIT_STATS_HPP

@@ -1,0 +1,20 @@
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+void
+fatalUnless(bool ok, const std::string &msg)
+{
+    if (!ok)
+        throw ConfigError(msg);
+}
+
+void
+panicUnless(bool ok, const std::string &msg)
+{
+    if (!ok)
+        throw InternalError(msg);
+}
+
+} // namespace qccd

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error handling for QCCDSim.
+ *
+ * Follows the gem5 fatal/panic distinction: user-caused conditions
+ * (bad configurations, malformed input files) raise ConfigError; internal
+ * invariant violations raise InternalError. Both derive from QccdError so
+ * callers can catch everything from this library in one place.
+ */
+
+#ifndef QCCD_COMMON_ERROR_HPP
+#define QCCD_COMMON_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace qccd
+{
+
+/** Base class for all errors thrown by QCCDSim. */
+class QccdError : public std::runtime_error
+{
+  public:
+    explicit QccdError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** The user supplied an invalid configuration or input (gem5 "fatal"). */
+class ConfigError : public QccdError
+{
+  public:
+    explicit ConfigError(const std::string &msg) : QccdError(msg) {}
+};
+
+/** An internal invariant was violated (gem5 "panic"). */
+class InternalError : public QccdError
+{
+  public:
+    explicit InternalError(const std::string &msg) : QccdError(msg) {}
+};
+
+/**
+ * Throw ConfigError when a user-facing precondition fails.
+ *
+ * @param ok condition that must hold
+ * @param msg description of the failure, shown to the user
+ */
+void fatalUnless(bool ok, const std::string &msg);
+
+/**
+ * Throw InternalError when an internal invariant fails.
+ *
+ * @param ok condition that must hold
+ * @param msg description of the violated invariant
+ */
+void panicUnless(bool ok, const std::string &msg);
+
+} // namespace qccd
+
+#endif // QCCD_COMMON_ERROR_HPP

@@ -1,0 +1,47 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+uint64_t
+Rng::next()
+{
+    // SplitMix64 (Steele, Lea, Flood 2014): a single 64-bit state pass
+    // through two xor-shift-multiply mixing steps.
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    panicUnless(bound > 0, "Rng::nextBelow requires bound > 0");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    uint64_t v = next();
+    while (v >= limit)
+        v = next();
+    return v % bound;
+}
+
+int
+Rng::nextInt(int lo, int hi)
+{
+    panicUnless(lo <= hi, "Rng::nextInt requires lo <= hi");
+    return lo + static_cast<int>(nextBelow(
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace qccd

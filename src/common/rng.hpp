@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * QCCDSim never uses global random state: every generator takes an
+ * explicit seed so that benchmark circuits (e.g. the Supremacy random
+ * circuit, the Bernstein-Vazirani secret string) are reproducible across
+ * runs and platforms. The engine is SplitMix64, which is tiny, fast and
+ * has well-understood statistical quality for this purpose.
+ */
+
+#ifndef QCCD_COMMON_RNG_HPP
+#define QCCD_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace qccd
+{
+
+/** SplitMix64 pseudo-random generator with convenience helpers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    int nextInt(int lo, int hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform boolean. */
+    bool nextBool() { return (next() >> 63) != 0; }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace qccd
+
+#endif // QCCD_COMMON_RNG_HPP

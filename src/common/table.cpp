@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace qccd
+{
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths over all rows.
+    std::vector<size_t> widths;
+    for (const auto &row : rows_) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        const auto &row = rows_[r];
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+        if (r == 0 && rows_.size() > 1) {
+            size_t total = 0;
+            for (size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+namespace
+{
+
+std::string
+formatWith(const char *spec, int digits, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), spec, digits, value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatSig(double value, int digits)
+{
+    return formatWith("%.*g", digits, value);
+}
+
+std::string
+formatFixed(double value, int digits)
+{
+    return formatWith("%.*f", digits, value);
+}
+
+std::string
+formatSci(double value, int digits)
+{
+    return formatWith("%.*e", digits, value);
+}
+
+} // namespace qccd

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table formatting used by the benchmark harnesses to print
+ * paper-style rows (Tables I/II, Figures 6-8 series).
+ */
+
+#ifndef QCCD_COMMON_TABLE_HPP
+#define QCCD_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace qccd
+{
+
+/**
+ * Accumulates rows of string cells and renders them with aligned columns.
+ *
+ * The first row added is treated as the header and separated from the
+ * body by a dashed rule.
+ */
+class TextTable
+{
+  public:
+    /** Append a row of cells. Rows may have differing cell counts. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with two-space column gutters. */
+    std::string render() const;
+
+    /** Number of rows added so far (including the header). */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant digits (general format). */
+std::string formatSig(double value, int digits = 4);
+
+/** Format a double in fixed notation with @p digits decimals. */
+std::string formatFixed(double value, int digits = 3);
+
+/** Format a double in scientific notation with @p digits decimals. */
+std::string formatSci(double value, int digits = 3);
+
+} // namespace qccd
+
+#endif // QCCD_COMMON_TABLE_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers used throughout QCCDSim.
+ *
+ * Times are kept in microseconds as doubles: the simulator is an
+ * architectural timing model, not a cycle-accurate one, and the paper's
+ * performance fits (Section VII) are all expressed in microseconds.
+ * Motional energy is kept in units of motional quanta (Section VII-B).
+ */
+
+#ifndef QCCD_COMMON_TYPES_HPP
+#define QCCD_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace qccd
+{
+
+/** Logical (program) qubit index within a circuit. */
+using QubitId = int;
+
+/** Physical ion index within a device. */
+using IonId = int;
+
+/** Trap index within a device. */
+using TrapId = int;
+
+/** Topology node index (traps and junctions share one id space). */
+using NodeId = int;
+
+/** Topology edge (segment run) index. */
+using EdgeId = int;
+
+/** Time in microseconds. */
+using TimeUs = double;
+
+/** Motional energy in units of motional quanta. */
+using Quanta = double;
+
+/** Sentinel for "no id". */
+constexpr int kInvalidId = -1;
+
+/** One second expressed in microseconds. */
+constexpr TimeUs kSecondUs = 1e6;
+
+} // namespace qccd
+
+#endif // QCCD_COMMON_TYPES_HPP

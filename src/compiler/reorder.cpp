@@ -1,0 +1,402 @@
+#include "compiler/reorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+PrimitiveEmitter::PrimitiveEmitter(DeviceState &state,
+                                   const HardwareParams &hw,
+                                   SimResult &result, Trace *trace,
+                                   bool zero_comm_times)
+    : state_(state), hw_(hw), gateTime_(hw.gateTimeModel()),
+      heating_(hw.heatingModel()), fidelity_(hw.fidelityModel()),
+      result_(result), trace_(trace), zeroComm_(zero_comm_times),
+      qubitReady_(state.numIons(), 0)
+{
+}
+
+void
+PrimitiveEmitter::record(const PrimOp &op)
+{
+    result_.noteOp(op);
+    if (trace_ != nullptr)
+        trace_->push_back(op);
+}
+
+TimeUs
+PrimitiveEmitter::emitMs(QubitId qa, QubitId qb, TimeUs ready,
+                         bool for_comm)
+{
+    const IonId ia = state_.ionOf(qa);
+    const IonId ib = state_.ionOf(qb);
+    const TrapId t = state_.trapOf(ia);
+    panicUnless(t != kInvalidId && t == state_.trapOf(ib),
+                "MS gate requires co-located ions");
+
+    const int pa = state_.positionOf(ia);
+    const int pb = state_.positionOf(ib);
+    const int separation = std::abs(pa - pb);
+    const int chain_len = state_.chain(t).size();
+    const Quanta nbar = state_.energy(t);
+
+    TimeUs dur = gateTime_.twoQubit(separation, chain_len);
+    if (for_comm)
+        dur = commDur(dur);
+
+    const TimeUs data_ready =
+        std::max({ready, qubitReady_[qa], qubitReady_[qb]});
+    const TimeUs start = state_.trapTimeline(t).acquire(data_ready, dur);
+    const TimeUs end = start + dur;
+    qubitReady_[qa] = end;
+    qubitReady_[qb] = end;
+
+    // Fidelity uses the *physical* gate duration even when the
+    // decomposition mode zeroes schedule time.
+    const TimeUs phys_dur = gateTime_.twoQubit(separation, chain_len);
+    const GateErrorBreakdown err =
+        fidelity_.twoQubitError(phys_dur, chain_len, nbar);
+
+    PrimOp op;
+    op.kind = PrimKind::GateMS;
+    op.start = start;
+    op.duration = dur;
+    op.trap = t;
+    op.q0 = qa;
+    op.q1 = qb;
+    op.chainLength = chain_len;
+    op.separation = separation;
+    op.nbar = nbar;
+    op.errBackground = err.background;
+    op.errMotional = err.motional;
+    op.fidelity = err.fidelity();
+    op.forCommunication = for_comm;
+    record(op);
+    return end;
+}
+
+TimeUs
+PrimitiveEmitter::emitOneQubit(QubitId q, TimeUs ready)
+{
+    const IonId ion = state_.ionOf(q);
+    const TrapId t = state_.trapOf(ion);
+    panicUnless(t != kInvalidId, "one-qubit gate on an in-flight ion");
+
+    const TimeUs dur = gateTime_.oneQubit();
+    const TimeUs start = state_.trapTimeline(t).acquire(
+        std::max(ready, qubitReady_[q]), dur);
+    qubitReady_[q] = start + dur;
+
+    PrimOp op;
+    op.kind = PrimKind::Gate1Q;
+    op.start = start;
+    op.duration = dur;
+    op.trap = t;
+    op.q0 = q;
+    op.fidelity = fidelity_.oneQubitFidelity();
+    record(op);
+    return start + dur;
+}
+
+TimeUs
+PrimitiveEmitter::emitMeasure(QubitId q, TimeUs ready)
+{
+    const IonId ion = state_.ionOf(q);
+    const TrapId t = state_.trapOf(ion);
+    panicUnless(t != kInvalidId, "measurement of an in-flight ion");
+
+    const TimeUs dur = gateTime_.measure();
+    const TimeUs start = state_.trapTimeline(t).acquire(
+        std::max(ready, qubitReady_[q]), dur);
+    qubitReady_[q] = start + dur;
+
+    PrimOp op;
+    op.kind = PrimKind::Measure;
+    op.start = start;
+    op.duration = dur;
+    op.trap = t;
+    op.q0 = q;
+    op.fidelity = fidelity_.measureFidelity();
+    record(op);
+    return start + dur;
+}
+
+TimeUs
+PrimitiveEmitter::emitSplit(TrapId t, ChainEnd end, TimeUs ready,
+                            IonId *out_ion)
+{
+    const ChainState &chain = state_.chain(t);
+    const int n = chain.size();
+    panicUnless(n >= 1, "split on an empty trap");
+    const IonId ion =
+        end == ChainEnd::Left ? chain.ions.front() : chain.ions.back();
+    const QubitId payload = state_.payloadOf(ion);
+
+    const TimeUs dur = commDur(hw_.shuttle.split);
+    const TimeUs start = state_.trapTimeline(t).acquire(
+        std::max(ready, qubitReady_[payload]), dur);
+    qubitReady_[payload] = start + dur;
+
+    Quanta ion_energy;
+    if (n == 1) {
+        // Extracting the last ion: it keeps the chain energy and gains
+        // the split disturbance; the empty trap holds no energy.
+        ion_energy = chain.energy + heating_.k1();
+        state_.setEnergy(t, 0);
+    } else {
+        const auto [rest, moved] =
+            heating_.afterSplit(chain.energy, n - 1, 1);
+        state_.setEnergy(t, rest);
+        ion_energy = moved;
+    }
+    *out_ion = state_.detachEnd(t, end, ion_energy);
+    panicUnless(*out_ion == ion, "split detached the wrong ion");
+
+    PrimOp op;
+    op.kind = PrimKind::Split;
+    op.start = start;
+    op.duration = dur;
+    op.trap = t;
+    op.ion = ion;
+    op.q0 = payload;
+    op.forCommunication = true;
+    record(op);
+    return start + dur;
+}
+
+TimeUs
+PrimitiveEmitter::emitMerge(TrapId t, ChainEnd end, IonId ion,
+                            TimeUs ready)
+{
+    const QubitId payload = state_.payloadOf(ion);
+    const TimeUs dur = commDur(hw_.shuttle.merge);
+    const TimeUs start = state_.trapTimeline(t).acquire(
+        std::max(ready, qubitReady_[payload]), dur);
+    qubitReady_[payload] = start + dur;
+
+    Quanta merged = heating_.afterMerge(state_.energy(t),
+                                        state_.flightEnergy(ion));
+    merged *= hw_.recoolFactor;
+    state_.attachEnd(t, end, ion);
+    state_.setEnergy(t, merged);
+
+    PrimOp op;
+    op.kind = PrimKind::Merge;
+    op.start = start;
+    op.duration = dur;
+    op.trap = t;
+    op.ion = ion;
+    op.q0 = payload;
+    op.forCommunication = true;
+    record(op);
+    return start + dur;
+}
+
+TimeUs
+PrimitiveEmitter::emitMove(EdgeId e, IonId ion, TimeUs ready)
+{
+    const int segments = state_.topology().edge(e).segments;
+    const TimeUs dur = commDur(hw_.shuttle.movePerSegment * segments);
+    const QubitId payload = state_.payloadOf(ion);
+    const TimeUs start = state_.edgeTimeline(e).acquire(
+        std::max(ready, qubitReady_[payload]), dur);
+    qubitReady_[payload] = start + dur;
+
+    Quanta energy = state_.flightEnergy(ion);
+    for (int s = 0; s < segments; ++s)
+        energy = heating_.afterMove(energy, 1);
+    state_.setFlightEnergy(ion, energy);
+    result_.counts.segmentsMoved += segments;
+
+    PrimOp op;
+    op.kind = PrimKind::Move;
+    op.start = start;
+    op.duration = dur;
+    op.edge = e;
+    op.ion = ion;
+    op.q0 = payload;
+    op.forCommunication = true;
+    record(op);
+    return start + dur;
+}
+
+TimeUs
+PrimitiveEmitter::emitJunction(NodeId n, IonId ion, TimeUs ready)
+{
+    const int degree = state_.topology().degree(n);
+    const TimeUs dur = commDur(hw_.shuttle.junctionCrossing(degree));
+    const QubitId payload = state_.payloadOf(ion);
+    const TimeUs start = state_.junctionTimeline(n).acquire(
+        std::max(ready, qubitReady_[payload]), dur);
+    qubitReady_[payload] = start + dur;
+
+    state_.setFlightEnergy(ion,
+                           heating_.afterJunction(state_.flightEnergy(ion)));
+
+    PrimOp op;
+    op.kind = PrimKind::JunctionCross;
+    op.start = start;
+    op.duration = dur;
+    op.junction = n;
+    op.ion = ion;
+    op.q0 = payload;
+    op.forCommunication = true;
+    record(op);
+    return start + dur;
+}
+
+TimeUs
+PrimitiveEmitter::emitTransit(TrapId t, IonId ion, TimeUs ready)
+{
+    // Crossing an empty trap region is modeled as one segment of linear
+    // transport: nothing to merge with, nothing to reorder.
+    const TimeUs dur = commDur(hw_.shuttle.movePerSegment);
+    const QubitId payload = state_.payloadOf(ion);
+    const TimeUs start = state_.trapTimeline(t).acquire(
+        std::max(ready, qubitReady_[payload]), dur);
+    qubitReady_[payload] = start + dur;
+
+    state_.setFlightEnergy(ion,
+                           heating_.afterMove(state_.flightEnergy(ion), 1));
+
+    PrimOp op;
+    op.kind = PrimKind::Transit;
+    op.start = start;
+    op.duration = dur;
+    op.trap = t;
+    op.ion = ion;
+    op.q0 = payload;
+    op.forCommunication = true;
+    record(op);
+    return start + dur;
+}
+
+TimeUs
+PrimitiveEmitter::emitIonSwapHop(IonId ion, ChainEnd end, TimeUs ready)
+{
+    const TrapId t = state_.trapOf(ion);
+    const ChainState &chain = state_.chain(t);
+    const int n = chain.size();
+    panicUnless(n >= 2, "ion-swap hop needs at least two ions");
+
+    // Isolate the swapping pair (split), rotate it 180 degrees, and
+    // merge it back (paper Fig. 5). For a two-ion chain the pair is the
+    // whole chain and no split/merge is needed.
+    TimeUs t_flow = ready;
+    if (n > 2) {
+        const TimeUs dur = commDur(hw_.shuttle.split);
+        const TimeUs start =
+            state_.trapTimeline(t).acquire(t_flow, dur);
+        t_flow = start + dur;
+        const auto [rest, pair] =
+            heating_.afterSplit(chain.energy, n - 2, 2);
+        // The chain is reassembled below; meanwhile track both halves
+        // summed at merge time. Stash the pair share through the
+        // rotation via local bookkeeping.
+        PrimOp op;
+        op.kind = PrimKind::Split;
+        op.start = start;
+        op.duration = dur;
+        op.trap = t;
+        op.ion = ion;
+        op.forCommunication = true;
+        record(op);
+
+        // Rotation.
+        const TimeUs rdur = commDur(hw_.shuttle.ionSwapRotation);
+        const TimeUs rstart =
+            state_.trapTimeline(t).acquire(t_flow, rdur);
+        t_flow = rstart + rdur;
+        PrimOp rot;
+        rot.kind = PrimKind::Rotate;
+        rot.start = rstart;
+        rot.duration = rdur;
+        rot.trap = t;
+        rot.ion = ion;
+        rot.forCommunication = true;
+        record(rot);
+
+        // Merge back.
+        const TimeUs mdur = commDur(hw_.shuttle.merge);
+        const TimeUs mstart =
+            state_.trapTimeline(t).acquire(t_flow, mdur);
+        t_flow = mstart + mdur;
+        state_.setEnergy(t, heating_.afterMerge(rest, pair));
+        PrimOp mop;
+        mop.kind = PrimKind::Merge;
+        mop.start = mstart;
+        mop.duration = mdur;
+        mop.trap = t;
+        mop.ion = ion;
+        mop.forCommunication = true;
+        record(mop);
+    } else {
+        const TimeUs rdur = commDur(hw_.shuttle.ionSwapRotation);
+        const TimeUs rstart =
+            state_.trapTimeline(t).acquire(t_flow, rdur);
+        t_flow = rstart + rdur;
+        PrimOp rot;
+        rot.kind = PrimKind::Rotate;
+        rot.start = rstart;
+        rot.duration = rdur;
+        rot.trap = t;
+        rot.ion = ion;
+        rot.forCommunication = true;
+        record(rot);
+    }
+
+    // Physically exchange the ions and release both payloads at the
+    // hop's completion time.
+    const QubitId pa = state_.payloadOf(ion);
+    const IonId neighbour = state_.swapToward(ion, end);
+    const QubitId pb = state_.payloadOf(neighbour);
+    qubitReady_[pa] = std::max(qubitReady_[pa], t_flow);
+    qubitReady_[pb] = std::max(qubitReady_[pb], t_flow);
+    return t_flow;
+}
+
+IonId
+PrimitiveEmitter::reorderToEnd(IonId ion, ChainEnd end, TimeUs ready,
+                               TimeUs *out_time)
+{
+    const TrapId t = state_.trapOf(ion);
+    panicUnless(t != kInvalidId, "reorder of an in-flight ion");
+    const ChainState &chain = state_.chain(t);
+    const int n = chain.size();
+    const int target = end == ChainEnd::Left ? 0 : n - 1;
+    int pos = state_.positionOf(ion);
+
+    if (pos == target) {
+        *out_time = ready;
+        return ion;
+    }
+
+    if (hw_.reorder == ReorderMethod::GS) {
+        // One SWAP gate between the ion and the chain-end ion: three MS
+        // gates (paper Fig. 5), after which the logical payload lives in
+        // the end ion.
+        const IonId end_ion = chain.ions[target];
+        const QubitId qa = state_.payloadOf(ion);
+        const QubitId qb = state_.payloadOf(end_ion);
+        TimeUs t_flow = ready;
+        for (int k = 0; k < 3; ++k)
+            t_flow = emitMs(qa, qb, t_flow, true);
+        state_.swapPayloads(ion, end_ion);
+        *out_time = t_flow;
+        return end_ion;
+    }
+
+    // IS: hop the ion to the end one neighbour at a time.
+    TimeUs t_flow = ready;
+    while (pos != target) {
+        t_flow = emitIonSwapHop(ion, end, t_flow);
+        pos = state_.positionOf(ion);
+    }
+    *out_time = t_flow;
+    return ion;
+}
+
+} // namespace qccd

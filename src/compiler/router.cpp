@@ -1,0 +1,79 @@
+#include "compiler/router.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+Router::Router(const Topology &topo, const PathFinder &paths)
+    : topo_(topo), paths_(paths)
+{
+}
+
+MoveDecision
+Router::chooseMover(const DeviceState &state, IonId ion_a,
+                    IonId ion_b) const
+{
+    const TrapId trap_a = state.trapOf(ion_a);
+    const TrapId trap_b = state.trapOf(ion_b);
+    panicUnless(trap_a != kInvalidId && trap_b != kInvalidId,
+                "both gate ions must be trapped");
+    panicUnless(trap_a != trap_b, "ions are already co-located");
+
+    // A full destination forces an eviction detour, so weigh it as an
+    // extra shuttle's worth of routing cost.
+    const double eviction_penalty = 1000.0;
+    double cost_a_moves = paths_.cost(trap_a, trap_b);
+    double cost_b_moves = paths_.cost(trap_b, trap_a);
+    if (state.freeSlots(trap_b) <= 0)
+        cost_a_moves += eviction_penalty;
+    if (state.freeSlots(trap_a) <= 0)
+        cost_b_moves += eviction_penalty;
+
+    MoveDecision decision;
+    if (cost_a_moves <= cost_b_moves) {
+        decision.mover = ion_a;
+        decision.stayer = ion_b;
+        decision.source = trap_a;
+        decision.dest = trap_b;
+    } else {
+        decision.mover = ion_b;
+        decision.stayer = ion_a;
+        decision.source = trap_b;
+        decision.dest = trap_a;
+    }
+    return decision;
+}
+
+const Path &
+Router::pathBetween(TrapId a, TrapId b) const
+{
+    return paths_.path(a, b);
+}
+
+TrapId
+Router::evictionTarget(const DeviceState &state, TrapId from,
+                       TrapId exclude) const
+{
+    TrapId best = kInvalidId;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (TrapId t = 0; t < topo_.trapCount(); ++t) {
+        if (t == from || t == exclude)
+            continue;
+        if (state.freeSlots(t) <= 0)
+            continue;
+        const double c = paths_.cost(from, t);
+        if (c < best_cost) {
+            best_cost = c;
+            best = t;
+        }
+    }
+    fatalUnless(best != kInvalidId,
+                "device too full to route: no trap has a free slot for "
+                "an evicted ion");
+    return best;
+}
+
+} // namespace qccd

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shuttle routing policy: which ion moves for a cross-trap gate, where
+ * evicted ions go, and which path a shuttle takes (paper Section VI).
+ */
+
+#ifndef QCCD_COMPILER_ROUTER_HPP
+#define QCCD_COMPILER_ROUTER_HPP
+
+#include "arch/path.hpp"
+#include "arch/topology.hpp"
+#include "sim/device_state.hpp"
+
+namespace qccd
+{
+
+/** Decision for satisfying one cross-trap two-qubit gate. */
+struct MoveDecision
+{
+    IonId mover = kInvalidId;    ///< ion that shuttles
+    IonId stayer = kInvalidId;   ///< gate partner that stays put
+    TrapId source = kInvalidId;  ///< mover's current trap
+    TrapId dest = kInvalidId;    ///< stayer's trap
+};
+
+/** Routing policy over a fixed topology and precomputed paths. */
+class Router
+{
+  public:
+    /**
+     * @param topo device topology
+     * @param paths all-pairs shortest paths (must outlive the router)
+     */
+    Router(const Topology &topo, const PathFinder &paths);
+
+    /**
+     * Choose which of a gate's two ions shuttles toward the other.
+     *
+     * Prefers the cheaper path; a destination without a free slot is
+     * penalized so the gate gravitates toward the trap with space,
+     * ties break toward moving @p ion_a.
+     */
+    MoveDecision chooseMover(const DeviceState &state, IonId ion_a,
+                             IonId ion_b) const;
+
+    /** The routed path between two traps. */
+    const Path &pathBetween(TrapId a, TrapId b) const;
+
+    /**
+     * Pick the trap an evicted ion should flee to: the trap nearest to
+     * @p from (by routing cost) with at least one free slot, excluding
+     * @p exclude.
+     *
+     * @throws ConfigError when every other trap is full
+     */
+    TrapId evictionTarget(const DeviceState &state, TrapId from,
+                          TrapId exclude) const;
+
+  private:
+    const Topology &topo_;
+    const PathFinder &paths_;
+};
+
+} // namespace qccd
+
+#endif // QCCD_COMPILER_ROUTER_HPP

@@ -1,0 +1,292 @@
+#include "compiler/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+PathCost
+Scheduler::pathCostFrom(const HardwareParams &hw)
+{
+    PathCost cost;
+    cost.perSegment = hw.shuttle.movePerSegment;
+    cost.yJunction = hw.shuttle.yJunction;
+    cost.xJunction = hw.shuttle.xJunction;
+    // Routing estimate for a trap pass-through: merge + split plus a
+    // nominal reorder allowance of three mid-chain MS gates.
+    cost.trapPassThrough = hw.shuttle.merge + hw.shuttle.split + 300.0;
+    return cost;
+}
+
+Scheduler::Scheduler(const Circuit &circuit, const Topology &topo,
+                     const HardwareParams &hw, ScheduleOptions options)
+    : circuit_(circuit), topo_(topo), hw_(hw), options_(options),
+      paths_(topo, pathCostFrom(hw)), router_(topo, paths_),
+      state_(topo, circuit.numQubits())
+{
+    hw_.validate();
+    for (const Gate &g : circuit.gates()) {
+        fatalUnless(isNative(g.op) || g.op == Op::Barrier,
+                    "scheduler requires the native gate set; lower with "
+                    "decomposeToNative() (found " + g.toString() + ")");
+    }
+    emitter_ = std::make_unique<PrimitiveEmitter>(
+        state_, hw_, result_.metrics,
+        options_.collectTrace ? &result_.trace : nullptr,
+        options_.zeroCommTimes);
+}
+
+void
+Scheduler::buildQueues()
+{
+    qubitGates_.assign(circuit_.numQubits(), {});
+    qubitNext_.assign(circuit_.numQubits(), 0);
+    for (size_t gi = 0; gi < circuit_.size(); ++gi) {
+        const Gate &g = circuit_.gate(gi);
+        if (g.op == Op::Barrier)
+            continue;
+        qubitGates_[g.q0].push_back(gi);
+        if (g.isTwoQubit())
+            qubitGates_[g.q1].push_back(gi);
+    }
+}
+
+void
+Scheduler::placeInitialLayout()
+{
+    result_.mapping = mapQubits(circuit_, topo_, hw_.bufferSlots,
+                                options_.mappingPolicy);
+    result_.metrics.effectiveBuffer = result_.mapping.effectiveBuffer;
+    for (TrapId t = 0; t < topo_.trapCount(); ++t) {
+        for (QubitId q : result_.mapping.chainOrder[t]) {
+            // Ion ids coincide with the program qubit they initially
+            // carry; payloads drift apart under GS reordering.
+            state_.placeIon(t, q, q);
+        }
+    }
+}
+
+size_t
+Scheduler::nextGateIndex(QubitId q) const
+{
+    if (qubitNext_[q] >= qubitGates_[q].size())
+        return SIZE_MAX;
+    return qubitGates_[q][qubitNext_[q]];
+}
+
+bool
+Scheduler::gateReady(size_t gi) const
+{
+    const Gate &g = circuit_.gate(gi);
+    if (nextGateIndex(g.q0) != gi)
+        return false;
+    if (g.isTwoQubit() && nextGateIndex(g.q1) != gi)
+        return false;
+    return true;
+}
+
+TimeUs
+Scheduler::gateReadyTime(size_t gi) const
+{
+    const Gate &g = circuit_.gate(gi);
+    const auto &ready =
+        static_cast<const PrimitiveEmitter &>(*emitter_).qubitReady();
+    TimeUs t = ready[g.q0];
+    if (g.isTwoQubit())
+        t = std::max(t, ready[g.q1]);
+    return t;
+}
+
+ScheduleResult
+Scheduler::run()
+{
+    panicUnless(!ran_, "Scheduler::run may only be called once");
+    ran_ = true;
+
+    buildQueues();
+    placeInitialLayout();
+
+    // Lazy min-heap of (readyTime, gate index); stale keys reinserted.
+    using Entry = std::pair<TimeUs, size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (size_t gi = 0; gi < circuit_.size(); ++gi)
+        if (circuit_.gate(gi).op != Op::Barrier && gateReady(gi))
+            heap.emplace(gateReadyTime(gi), gi);
+
+    size_t executed = 0;
+    size_t total = 0;
+    for (size_t gi = 0; gi < circuit_.size(); ++gi)
+        if (circuit_.gate(gi).op != Op::Barrier)
+            ++total;
+
+    while (!heap.empty()) {
+        const auto [key, gi] = heap.top();
+        heap.pop();
+        panicUnless(gateReady(gi), "non-ready gate escaped into heap");
+        const TimeUs now = gateReadyTime(gi);
+        if (now > key) {
+            heap.emplace(now, gi);
+            continue;
+        }
+
+        executeGate(gi);
+        ++executed;
+
+        // Retire the gate and surface newly ready successors.
+        const Gate &g = circuit_.gate(gi);
+        ++qubitNext_[g.q0];
+        const size_t succ0 = nextGateIndex(g.q0);
+        if (succ0 != SIZE_MAX && gateReady(succ0))
+            heap.emplace(gateReadyTime(succ0), succ0);
+        if (g.isTwoQubit()) {
+            ++qubitNext_[g.q1];
+            const size_t succ1 = nextGateIndex(g.q1);
+            if (succ1 != SIZE_MAX && gateReady(succ1))
+                heap.emplace(gateReadyTime(succ1), succ1);
+        }
+    }
+
+    panicUnless(executed == total,
+                "scheduler finished with unexecuted gates");
+    result_.metrics.maxChainEnergy = state_.maxEnergySeen();
+    return std::move(result_);
+}
+
+void
+Scheduler::executeGate(size_t gi)
+{
+    const Gate &g = circuit_.gate(gi);
+    if (g.isMeasure()) {
+        emitter_->emitMeasure(g.q0, 0);
+        return;
+    }
+    if (g.isOneQubit()) {
+        emitter_->emitOneQubit(g.q0, 0);
+        return;
+    }
+
+    panicUnless(g.op == Op::MS, "unexpected non-native two-qubit gate");
+
+    // Gate-based reordering teleports logical payloads between physical
+    // ions (including during evictions that pass through other traps),
+    // so qubit -> ion bindings must be re-resolved after every eviction
+    // rather than cached across it.
+    for (int guard = 0; ; ++guard) {
+        panicUnless(guard < 1000, "gate placement failed to converge");
+        const IonId ia = state_.ionOf(g.q0);
+        const IonId ib = state_.ionOf(g.q1);
+        if (state_.trapOf(ia) == state_.trapOf(ib))
+            break;
+        const MoveDecision move = router_.chooseMover(state_, ia, ib);
+        if (state_.freeSlots(move.dest) <= 0) {
+            evictFrom(move.dest, move.stayer, 0);
+            continue; // re-resolve: eviction may teleport payloads
+        }
+        TimeUs arrive = 0;
+        performShuttle(move.mover, move.dest, 0, &arrive);
+        ++result_.metrics.counts.shuttles;
+    }
+    emitter_->emitMs(g.q0, g.q1, 0, false);
+}
+
+void
+Scheduler::evictFrom(TrapId dest, IonId keep, TimeUs ready)
+{
+    // Victim: the ion whose payload is needed latest (unused payloads
+    // first), never the gate partner we must keep.
+    const ChainState &chain = state_.chain(dest);
+    IonId victim = kInvalidId;
+    size_t best_next = 0;
+    for (IonId ion : chain.ions) {
+        if (ion == keep)
+            continue;
+        const size_t next = nextGateIndex(state_.payloadOf(ion));
+        if (victim == kInvalidId || next > best_next) {
+            victim = ion;
+            best_next = next;
+        }
+    }
+    panicUnless(victim != kInvalidId, "no evictable ion in full trap");
+
+    const TrapId refuge = router_.evictionTarget(state_, dest, dest);
+    TimeUs done = 0;
+    performShuttle(victim, refuge, ready, &done);
+    ++result_.metrics.counts.evictions;
+    ++result_.metrics.counts.shuttles;
+}
+
+IonId
+Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
+                          TimeUs *out_time)
+{
+    const TrapId src = state_.trapOf(ion);
+    panicUnless(src != kInvalidId && src != dest,
+                "shuttle needs a trapped ion and a distinct destination");
+    panicUnless(state_.freeSlots(dest) > 0,
+                "shuttle destination is full; caller must evict first");
+    const Path &path = router_.pathBetween(src, dest);
+    panicUnless(!path.steps.empty() &&
+                path.steps.front().kind == PathStep::Kind::Edge &&
+                path.steps.back().kind == PathStep::Kind::Edge,
+                "routed path must start and end with an edge");
+
+    TimeUs t = ready;
+
+    // Reorder the payload to the source exit end and split it off.
+    const EdgeId first_edge = path.steps.front().id;
+    const ChainEnd exit_end = state_.portEnd(src, first_edge);
+    ion = emitter_->reorderToEnd(ion, exit_end, t, &t);
+    IonId flying = kInvalidId;
+    t = emitter_->emitSplit(src, exit_end, t, &flying);
+    panicUnless(flying == ion, "source split detached an unexpected ion");
+
+    // Walk the path.
+    for (size_t i = 0; i < path.steps.size(); ++i) {
+        const PathStep &step = path.steps[i];
+        switch (step.kind) {
+          case PathStep::Kind::Edge:
+            t = emitter_->emitMove(step.id, flying, t);
+            break;
+          case PathStep::Kind::Junction:
+            t = emitter_->emitJunction(step.id, flying, t);
+            break;
+          case PathStep::Kind::ThroughTrap: {
+            const TrapId through = topo_.node(step.id).trapIndex;
+            panicUnless(through != kInvalidId,
+                        "through-trap step names a non-trap node");
+            panicUnless(i > 0 && i + 1 < path.steps.size(),
+                        "through-trap cannot begin or end a path");
+            const EdgeId in_edge = path.steps[i - 1].id;
+            const EdgeId out_edge = path.steps[i + 1].id;
+            if (state_.chain(through).size() == 0) {
+                t = emitter_->emitTransit(through, flying, t);
+                break;
+            }
+            const ChainEnd entry = state_.portEnd(through, in_edge);
+            const ChainEnd exit = state_.portEnd(through, out_edge);
+            panicUnless(entry != exit,
+                        "pass-through must cross the chain");
+            t = emitter_->emitMerge(through, entry, flying, t);
+            ++result_.metrics.counts.trapPassThroughs;
+            IonId carrier =
+                emitter_->reorderToEnd(flying, exit, t, &t);
+            t = emitter_->emitSplit(through, exit, t, &flying);
+            panicUnless(flying == carrier,
+                        "pass-through split detached the wrong ion");
+            break;
+          }
+        }
+    }
+
+    // Merge at the destination.
+    const EdgeId last_edge = path.steps.back().id;
+    const ChainEnd entry_end = state_.portEnd(dest, last_edge);
+    t = emitter_->emitMerge(dest, entry_end, flying, t);
+    *out_time = t;
+    return flying;
+}
+
+} // namespace qccd

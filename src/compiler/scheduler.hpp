@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The QCCD backend scheduler (paper Sections V-A, VI).
+ *
+ * Implements earliest-ready-gate-first list scheduling over the device's
+ * resource timelines. Single-qubit gates and measurements run in the
+ * ion's current trap; two-qubit gates between different traps trigger a
+ * shuttle: reorder to the exit end, split, move across segments and
+ * junctions (merging through intermediate traps on linear topologies,
+ * Fig. 4), merge at the destination, then the MS gate. Full destination
+ * traps first evict their least-soon-needed ion to the nearest trap
+ * with space.
+ *
+ * All primitive operations are atomic reservations on monotone
+ * timelines, so parallel shuttles can never deadlock; contention at
+ * junctions or segments resolves to waiting, which is exactly the
+ * paper's congestion policy.
+ */
+
+#ifndef QCCD_COMPILER_SCHEDULER_HPP
+#define QCCD_COMPILER_SCHEDULER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "arch/path.hpp"
+#include "arch/topology.hpp"
+#include "circuit/circuit.hpp"
+#include "compiler/mapping.hpp"
+#include "compiler/reorder.hpp"
+#include "compiler/router.hpp"
+#include "models/params.hpp"
+#include "sim/device_state.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace qccd
+{
+
+/** Scheduling knobs. */
+struct ScheduleOptions
+{
+    bool collectTrace = true;   ///< record the primitive op trace
+    bool zeroCommTimes = false; ///< Fig. 6b decomposition mode
+
+    /** Initial placement policy (paper default: packed). */
+    MappingPolicy mappingPolicy = MappingPolicy::Packed;
+};
+
+/** Output of one compile+simulate pass. */
+struct ScheduleResult
+{
+    SimResult metrics;
+    Trace trace;
+    InitialMapping mapping;
+};
+
+/** Compiles and simulates one circuit on one device configuration. */
+class Scheduler
+{
+  public:
+    /**
+     * @param circuit program in the native gate set ({1q, MS, measure};
+     *        use decomposeToNative() first)
+     * @param topo device topology (must outlive the scheduler)
+     * @param hw hardware parameterization
+     */
+    Scheduler(const Circuit &circuit, const Topology &topo,
+              const HardwareParams &hw, ScheduleOptions options = {});
+
+    /** Run the full schedule; callable once. */
+    ScheduleResult run();
+
+  private:
+    const Circuit &circuit_;
+    const Topology &topo_;
+    HardwareParams hw_;
+    ScheduleOptions options_;
+
+    PathFinder paths_;
+    Router router_;
+    DeviceState state_;
+    ScheduleResult result_;
+    std::unique_ptr<PrimitiveEmitter> emitter_;
+
+    /** Per-qubit FIFO of pending gate indices. */
+    std::vector<std::vector<size_t>> qubitGates_;
+    std::vector<size_t> qubitNext_; ///< cursor into qubitGates_[q]
+
+    bool ran_ = false;
+
+    void buildQueues();
+    void placeInitialLayout();
+
+    /** Gate index of qubit @p q's next pending gate (SIZE_MAX if none). */
+    size_t nextGateIndex(QubitId q) const;
+
+    /** True when gate @p gi is the front gate of all its operands. */
+    bool gateReady(size_t gi) const;
+
+    /** Data-ready time of gate @p gi. */
+    TimeUs gateReadyTime(size_t gi) const;
+
+    void executeGate(size_t gi);
+
+    /**
+     * Shuttle @p ion to trap @p dest; returns the ion that arrives
+     * (GS reordering may teleport the payload to a different ion) and
+     * sets @p out_time to the final merge completion.
+     *
+     * @pre dest has a free slot (callers evict first and must then
+     *      re-resolve qubit -> ion bindings, since evictions can
+     *      teleport payloads between physical ions)
+     */
+    IonId performShuttle(IonId ion, TrapId dest, TimeUs ready,
+                         TimeUs *out_time);
+
+    /** Make room in @p dest by evicting its least-needed ion. */
+    void evictFrom(TrapId dest, IonId keep, TimeUs ready);
+
+    static PathCost pathCostFrom(const HardwareParams &hw);
+};
+
+} // namespace qccd
+
+#endif // QCCD_COMPILER_SCHEDULER_HPP

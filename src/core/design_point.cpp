@@ -1,0 +1,50 @@
+#include "core/design_point.hpp"
+
+#include <sstream>
+
+#include "arch/builders.hpp"
+
+namespace qccd
+{
+
+Topology
+DesignPoint::buildTopology() const
+{
+    return makeFromSpec(topologySpec, trapCapacity);
+}
+
+std::string
+DesignPoint::label() const
+{
+    std::ostringstream out;
+    out << topologySpec << " cap=" << trapCapacity << " "
+        << gateImplName(hw.gateImpl) << "-" << reorderMethodName(hw.reorder);
+    return out.str();
+}
+
+DesignPoint
+DesignPoint::linear(int traps, int capacity, GateImpl gate,
+                    ReorderMethod reorder)
+{
+    DesignPoint dp;
+    dp.topologySpec = "linear:" + std::to_string(traps);
+    dp.trapCapacity = capacity;
+    dp.hw.gateImpl = gate;
+    dp.hw.reorder = reorder;
+    return dp;
+}
+
+DesignPoint
+DesignPoint::grid(int rows, int cols, int capacity, GateImpl gate,
+                  ReorderMethod reorder)
+{
+    DesignPoint dp;
+    dp.topologySpec = "grid:" + std::to_string(rows) + "x" +
+                      std::to_string(cols);
+    dp.trapCapacity = capacity;
+    dp.hw.gateImpl = gate;
+    dp.hw.reorder = reorder;
+    return dp;
+}
+
+} // namespace qccd

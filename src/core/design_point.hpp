@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A candidate QCCD architecture: everything Fig. 3 feeds the toolflow.
+ *
+ * A DesignPoint names the communication topology (via spec string), the
+ * per-trap capacity, and the full hardware parameterization (gate
+ * implementation, reordering method, physical model constants).
+ */
+
+#ifndef QCCD_CORE_DESIGN_POINT_HPP
+#define QCCD_CORE_DESIGN_POINT_HPP
+
+#include <string>
+
+#include "arch/topology.hpp"
+#include "models/params.hpp"
+
+namespace qccd
+{
+
+/** One candidate device configuration. */
+struct DesignPoint
+{
+    /** Topology spec, e.g. "linear:6" / "L6" / "grid:2x3" / "G2x3". */
+    std::string topologySpec = "linear:6";
+
+    /** Maximum ions per trap. */
+    int trapCapacity = 22;
+
+    /** Physical and microarchitectural parameters. */
+    HardwareParams hw;
+
+    /** Build the topology for this design point. */
+    Topology buildTopology() const;
+
+    /** Short label like "L6 cap=22 FM-GS" for reports. */
+    std::string label() const;
+
+    /** Convenience constructors for the paper's two topologies. @{ */
+    static DesignPoint linear(int traps, int capacity,
+                              GateImpl gate = GateImpl::FM,
+                              ReorderMethod reorder = ReorderMethod::GS);
+    static DesignPoint grid(int rows, int cols, int capacity,
+                            GateImpl gate = GateImpl::FM,
+                            ReorderMethod reorder = ReorderMethod::GS);
+    /** @} */
+};
+
+} // namespace qccd
+
+#endif // QCCD_CORE_DESIGN_POINT_HPP

@@ -1,0 +1,118 @@
+#include "core/export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+namespace
+{
+
+/** Shared field extraction so CSV and JSON can never diverge. */
+struct Row
+{
+    std::string application;
+    std::string topology;
+    int capacity;
+    std::string gate;
+    std::string reorder;
+    double timeS;
+    double computeS;
+    double commS;
+    double fidelity;
+    double logFidelity;
+    double maxEnergy;
+    long msGates;
+    long reorderMs;
+    long shuttles;
+    long splits;
+    long merges;
+    long evictions;
+};
+
+Row
+makeRow(const SweepPoint &p)
+{
+    Row row;
+    row.application = p.application;
+    row.topology = p.design.topologySpec;
+    row.capacity = p.design.trapCapacity;
+    row.gate = gateImplName(p.design.hw.gateImpl);
+    row.reorder = reorderMethodName(p.design.hw.reorder);
+    row.timeS = p.result.totalTime() / kSecondUs;
+    row.computeS = p.result.computeOnlyTime / kSecondUs;
+    row.commS = p.result.communicationTime() / kSecondUs;
+    row.fidelity = p.result.fidelity();
+    row.logFidelity = p.result.sim.logFidelity;
+    row.maxEnergy = p.result.sim.maxChainEnergy;
+    row.msGates = p.result.sim.counts.algorithmMs;
+    row.reorderMs = p.result.sim.counts.reorderMs;
+    row.shuttles = p.result.sim.counts.shuttles;
+    row.splits = p.result.sim.counts.splits;
+    row.merges = p.result.sim.counts.merges;
+    row.evictions = p.result.sim.counts.evictions;
+    return row;
+}
+
+} // namespace
+
+std::string
+toCsv(const std::vector<SweepPoint> &points)
+{
+    std::ostringstream out;
+    out.precision(12);
+    out << "application,topology,capacity,gate,reorder,time_s,"
+           "compute_s,comm_s,fidelity,log_fidelity,max_energy_quanta,"
+           "ms_gates,reorder_ms,shuttles,splits,merges,evictions\n";
+    for (const SweepPoint &p : points) {
+        const Row r = makeRow(p);
+        out << r.application << ',' << r.topology << ',' << r.capacity
+            << ',' << r.gate << ',' << r.reorder << ',' << r.timeS << ','
+            << r.computeS << ',' << r.commS << ',' << r.fidelity << ','
+            << r.logFidelity << ',' << r.maxEnergy << ',' << r.msGates
+            << ',' << r.reorderMs << ',' << r.shuttles << ','
+            << r.splits << ',' << r.merges << ',' << r.evictions << '\n';
+    }
+    return out.str();
+}
+
+std::string
+toJson(const std::vector<SweepPoint> &points)
+{
+    std::ostringstream out;
+    out.precision(12);
+    out << "[\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Row r = makeRow(points[i]);
+        out << "  {\"application\": \"" << r.application
+            << "\", \"topology\": \"" << r.topology
+            << "\", \"capacity\": " << r.capacity << ", \"gate\": \""
+            << r.gate << "\", \"reorder\": \"" << r.reorder
+            << "\", \"time_s\": " << r.timeS << ", \"compute_s\": "
+            << r.computeS << ", \"comm_s\": " << r.commS
+            << ", \"fidelity\": " << r.fidelity
+            << ", \"log_fidelity\": " << r.logFidelity
+            << ", \"max_energy_quanta\": " << r.maxEnergy
+            << ", \"ms_gates\": " << r.msGates << ", \"reorder_ms\": "
+            << r.reorderMs << ", \"shuttles\": " << r.shuttles
+            << ", \"splits\": " << r.splits << ", \"merges\": "
+            << r.merges << ", \"evictions\": " << r.evictions << "}"
+            << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return out.str();
+}
+
+void
+writeTextFile(const std::string &text, const std::string &path)
+{
+    std::ofstream out(path);
+    fatalUnless(out.good(), "cannot write file '" + path + "'");
+    out << text;
+    fatalUnless(out.good(), "error writing file '" + path + "'");
+}
+
+} // namespace qccd

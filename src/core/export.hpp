@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Machine-readable export of sweep results: CSV for spreadsheets and
+ * plotting scripts, JSON for structured pipelines. Every figure bench
+ * can dump its raw series so the paper's plots can be regenerated with
+ * any plotting tool.
+ */
+
+#ifndef QCCD_CORE_EXPORT_HPP
+#define QCCD_CORE_EXPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace qccd
+{
+
+/**
+ * Render sweep points as CSV with one row per point and the columns:
+ * application, topology, capacity, gate, reorder, time_s, compute_s,
+ * comm_s, fidelity, log_fidelity, max_energy_quanta, ms_gates,
+ * reorder_ms, shuttles, splits, merges, evictions.
+ */
+std::string toCsv(const std::vector<SweepPoint> &points);
+
+/** Render sweep points as a JSON array of objects (same fields). */
+std::string toJson(const std::vector<SweepPoint> &points);
+
+/** Write @p text to @p path. @throws ConfigError if unwritable. */
+void writeTextFile(const std::string &text, const std::string &path);
+
+} // namespace qccd
+
+#endif // QCCD_CORE_EXPORT_HPP

@@ -1,0 +1,76 @@
+#include "core/recommend.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace qccd
+{
+
+size_t
+CandidateSpace::size() const
+{
+    return topologies.size() * capacities.size() * gates.size() *
+           reorders.size();
+}
+
+std::vector<RankedDesign>
+rankDesigns(const Circuit &circuit, const CandidateSpace &space)
+{
+    std::vector<RankedDesign> ranking;
+    for (const std::string &topo : space.topologies) {
+        for (int cap : space.capacities) {
+            for (GateImpl gate : space.gates) {
+                for (ReorderMethod reorder : space.reorders) {
+                    DesignPoint dp;
+                    dp.topologySpec = topo;
+                    dp.trapCapacity = cap;
+                    dp.hw.gateImpl = gate;
+                    dp.hw.reorder = reorder;
+                    if (dp.buildTopology().totalCapacity() <
+                        circuit.numQubits())
+                        continue; // application does not fit
+                    RankedDesign entry;
+                    entry.design = dp;
+                    entry.result = runToolflow(circuit, dp);
+                    ranking.push_back(std::move(entry));
+                }
+            }
+        }
+    }
+    fatalUnless(!ranking.empty(),
+                "no candidate design fits the application");
+
+    std::stable_sort(ranking.begin(), ranking.end(),
+                     [](const RankedDesign &a, const RankedDesign &b) {
+                         if (a.score() != b.score())
+                             return a.score() > b.score();
+                         return a.result.totalTime() <
+                                b.result.totalTime();
+                     });
+    return ranking;
+}
+
+RankedDesign
+recommendDesign(const Circuit &circuit, const CandidateSpace &space)
+{
+    return rankDesigns(circuit, space).front();
+}
+
+std::string
+rankingTable(const std::vector<RankedDesign> &ranking, size_t show)
+{
+    TextTable table;
+    table.addRow({"rank", "design", "fidelity", "log-fid", "time (s)"});
+    for (size_t i = 0; i < std::min(show, ranking.size()); ++i) {
+        const RankedDesign &r = ranking[i];
+        table.addRow({std::to_string(i + 1), r.design.label(),
+                      formatSci(r.result.fidelity(), 3),
+                      formatSig(r.score(), 4),
+                      formatSig(r.result.totalTime() / kSecondUs, 4)});
+    }
+    return table.render();
+}
+
+} // namespace qccd

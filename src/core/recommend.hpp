@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Automated design recommendation: the paper's Sections IX-X distill
+ * sweeps into concrete guidance (trap capacity 15-25, topology matched
+ * to the application, GS reordering, application-dependent gate
+ * implementation). This module automates that distillation: given an
+ * application and a candidate space, it runs the toolflow over every
+ * candidate and ranks them by application fidelity (tie-broken by
+ * runtime), returning the recommendation a device architect would act
+ * on.
+ */
+
+#ifndef QCCD_CORE_RECOMMEND_HPP
+#define QCCD_CORE_RECOMMEND_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/toolflow.hpp"
+
+namespace qccd
+{
+
+/** One evaluated candidate, ranked. */
+struct RankedDesign
+{
+    DesignPoint design;
+    RunResult result;
+
+    /** Primary objective: log fidelity (higher is better). */
+    double score() const { return result.sim.logFidelity; }
+};
+
+/** The candidate space to search. */
+struct CandidateSpace
+{
+    std::vector<std::string> topologies{"linear:6", "grid:2x3"};
+    std::vector<int> capacities{14, 18, 22, 26, 30, 34};
+    std::vector<GateImpl> gates{GateImpl::AM1, GateImpl::AM2,
+                                GateImpl::PM, GateImpl::FM};
+    std::vector<ReorderMethod> reorders{ReorderMethod::GS,
+                                        ReorderMethod::IS};
+
+    /** Number of candidate design points in the space. */
+    size_t size() const;
+};
+
+/**
+ * Evaluate every candidate for @p circuit and return them ranked best
+ * first (highest fidelity; runtime breaks ties). Candidates the circuit
+ * does not fit on are skipped.
+ *
+ * @throws ConfigError when no candidate fits the application
+ */
+std::vector<RankedDesign> rankDesigns(const Circuit &circuit,
+                                      const CandidateSpace &space);
+
+/** Convenience: the best design for @p circuit over @p space. */
+RankedDesign recommendDesign(const Circuit &circuit,
+                             const CandidateSpace &space = {});
+
+/** Render the top @p show rows of a ranking as a table. */
+std::string rankingTable(const std::vector<RankedDesign> &ranking,
+                         size_t show = 10);
+
+} // namespace qccd
+
+#endif // QCCD_CORE_RECOMMEND_HPP

@@ -1,0 +1,35 @@
+#include "core/sweep.hpp"
+
+#include "benchgen/benchgen.hpp"
+
+namespace qccd
+{
+
+std::vector<int>
+paperCapacities()
+{
+    return {14, 18, 22, 26, 30, 34};
+}
+
+std::vector<SweepPoint>
+sweepCapacity(const std::vector<std::string> &apps,
+              const std::vector<int> &capacities,
+              const std::function<DesignPoint(int)> &make_design,
+              const RunOptions &options)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(apps.size() * capacities.size());
+    for (const std::string &app : apps) {
+        const Circuit circuit = makeBenchmark(app);
+        for (int cap : capacities) {
+            SweepPoint point;
+            point.application = app;
+            point.design = make_design(cap);
+            point.result = runToolflow(circuit, point.design, options);
+            points.push_back(std::move(point));
+        }
+    }
+    return points;
+}
+
+} // namespace qccd

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Design-space sweep helpers used by the benchmark harnesses.
+ *
+ * The paper sweeps trap capacity 14-34 (Figs. 6-8), two topologies
+ * (Fig. 7) and eight microarchitecture combinations (Fig. 8); these
+ * helpers run the toolflow over such grids and collect rows.
+ */
+
+#ifndef QCCD_CORE_SWEEP_HPP
+#define QCCD_CORE_SWEEP_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/toolflow.hpp"
+
+namespace qccd
+{
+
+/** One sweep sample. */
+struct SweepPoint
+{
+    std::string application;
+    DesignPoint design;
+    RunResult result;
+};
+
+/** The paper's capacity sweep values (x axes of Figs. 6-8). */
+std::vector<int> paperCapacities();
+
+/**
+ * Run @p make_design over every (application, capacity) pair.
+ *
+ * @param apps application names resolved via makeBenchmark()
+ * @param capacities trap capacities to sweep
+ * @param make_design builds the design point for one capacity
+ * @param options toolflow options applied to every run
+ */
+std::vector<SweepPoint>
+sweepCapacity(const std::vector<std::string> &apps,
+              const std::vector<int> &capacities,
+              const std::function<DesignPoint(int)> &make_design,
+              const RunOptions &options = {});
+
+} // namespace qccd
+
+#endif // QCCD_CORE_SWEEP_HPP

@@ -1,0 +1,56 @@
+#include "core/toolflow.hpp"
+
+#include <algorithm>
+
+#include "circuit/decompose.hpp"
+
+namespace qccd
+{
+
+TimeUs
+RunResult::communicationTime() const
+{
+    return std::max(sim.makespan - computeOnlyTime, 0.0);
+}
+
+RunResult
+runToolflow(const Circuit &circuit, const DesignPoint &design,
+            const RunOptions &options)
+{
+    const Circuit native = decomposeToNative(circuit);
+    const Topology topo = design.buildTopology();
+
+    RunResult result;
+    {
+        ScheduleOptions sched;
+        sched.collectTrace = options.collectTrace;
+        sched.mappingPolicy = options.mappingPolicy;
+        Scheduler scheduler(native, topo, design.hw, sched);
+        result.sim = scheduler.run().metrics;
+    }
+    if (options.decomposeRuntime) {
+        // Second pass with shuttling idealized to zero duration yields
+        // the pure computation critical path; the difference is the
+        // communication share (Fig. 6b's decomposition).
+        ScheduleOptions sched;
+        sched.collectTrace = false;
+        sched.zeroCommTimes = true;
+        sched.mappingPolicy = options.mappingPolicy;
+        Scheduler scheduler(native, topo, design.hw, sched);
+        result.computeOnlyTime = scheduler.run().metrics.makespan;
+    }
+    return result;
+}
+
+ScheduleResult
+runToolflowDetailed(const Circuit &circuit, const DesignPoint &design)
+{
+    const Circuit native = decomposeToNative(circuit);
+    const Topology topo = design.buildTopology();
+    ScheduleOptions sched;
+    sched.collectTrace = true;
+    Scheduler scheduler(native, topo, design.hw, sched);
+    return scheduler.run();
+}
+
+} // namespace qccd

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The end-to-end design toolflow (paper Fig. 3): take a candidate QCCD
+ * architecture and an application, lower the application to the native
+ * gate set, compile it onto the device, simulate the schedule with the
+ * physical models, and report application- and device-level metrics.
+ */
+
+#ifndef QCCD_CORE_TOOLFLOW_HPP
+#define QCCD_CORE_TOOLFLOW_HPP
+
+#include "circuit/circuit.hpp"
+#include "compiler/scheduler.hpp"
+#include "core/design_point.hpp"
+
+namespace qccd
+{
+
+/** Application + device metrics for one toolflow run. */
+struct RunResult
+{
+    SimResult sim;
+
+    /** Makespan with communication idealized to zero time (Fig. 6b). */
+    TimeUs computeOnlyTime = 0;
+
+    /** totalTime - computeOnlyTime: time attributable to shuttling. */
+    TimeUs communicationTime() const;
+
+    TimeUs totalTime() const { return sim.makespan; }
+    double fidelity() const { return sim.fidelity(); }
+};
+
+/** Toolflow execution options. */
+struct RunOptions
+{
+    bool collectTrace = false;
+
+    /** Also run the zero-communication pass for the Fig. 6b split. */
+    bool decomposeRuntime = false;
+
+    /** Initial placement policy (paper default: packed). */
+    MappingPolicy mappingPolicy = MappingPolicy::Packed;
+};
+
+/**
+ * Run @p circuit (any supported gate set) on @p design.
+ *
+ * The circuit is lowered with decomposeToNative() internally.
+ *
+ * @throws ConfigError when the application does not fit the device or
+ *         the configuration is invalid
+ */
+RunResult runToolflow(const Circuit &circuit, const DesignPoint &design,
+                      const RunOptions &options = {});
+
+/**
+ * Like runToolflow but also returns the full schedule (trace and
+ * mapping) for inspection; always collects the trace.
+ */
+ScheduleResult runToolflowDetailed(const Circuit &circuit,
+                                   const DesignPoint &design);
+
+} // namespace qccd
+
+#endif // QCCD_CORE_TOOLFLOW_HPP

@@ -1,0 +1,56 @@
+#include "models/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+double
+GateErrorBreakdown::total() const
+{
+    return std::clamp(background + motional, 0.0, 1.0);
+}
+
+FidelityModel::FidelityModel(double gamma_per_s, double kappa,
+                             double one_qubit_error, double measure_error)
+    : gammaPerS_(gamma_per_s), kappa_(kappa),
+      oneQubitError_(one_qubit_error), measureError_(measure_error)
+{
+    fatalUnless(gamma_per_s >= 0, "background rate must be non-negative");
+    fatalUnless(kappa >= 0, "kappa must be non-negative");
+    fatalUnless(one_qubit_error >= 0 && one_qubit_error < 1,
+                "one-qubit error must be in [0, 1)");
+    fatalUnless(measure_error >= 0 && measure_error < 1,
+                "measurement error must be in [0, 1)");
+}
+
+double
+FidelityModel::scaleFactorA(int n) const
+{
+    panicUnless(n >= 2, "scale factor A needs chain length >= 2");
+    return kappa_ * n / std::log(static_cast<double>(n));
+}
+
+GateErrorBreakdown
+FidelityModel::twoQubitError(TimeUs tau_us, int chain_length,
+                             Quanta nbar) const
+{
+    panicUnless(tau_us >= 0, "gate duration cannot be negative");
+    panicUnless(nbar >= 0, "motional energy cannot be negative");
+    GateErrorBreakdown err;
+    err.background = gammaPerS_ * (tau_us / kSecondUs);
+    err.motional = scaleFactorA(chain_length) * (2.0 * nbar + 1.0);
+    return err;
+}
+
+double
+FidelityModel::twoQubitFidelity(TimeUs tau_us, int chain_length,
+                                Quanta nbar) const
+{
+    return twoQubitError(tau_us, chain_length, nbar).fidelity();
+}
+
+} // namespace qccd

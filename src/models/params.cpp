@@ -1,0 +1,58 @@
+#include "models/params.hpp"
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+std::string
+reorderMethodName(ReorderMethod method)
+{
+    switch (method) {
+      case ReorderMethod::GS: return "GS";
+      case ReorderMethod::IS: return "IS";
+    }
+    throw InternalError("unknown ReorderMethod");
+}
+
+ReorderMethod
+reorderMethodFromName(const std::string &name)
+{
+    if (name == "GS") return ReorderMethod::GS;
+    if (name == "IS") return ReorderMethod::IS;
+    throw ConfigError("unknown reorder method '" + name +
+                      "' (expected GS or IS)");
+}
+
+GateTimeModel
+HardwareParams::gateTimeModel() const
+{
+    return GateTimeModel(gateImpl, oneQubitUs, measureUs, twoQubitFloorUs);
+}
+
+HeatingModel
+HardwareParams::heatingModel() const
+{
+    return HeatingModel(heatingK1, heatingK2);
+}
+
+FidelityModel
+HardwareParams::fidelityModel() const
+{
+    return FidelityModel(gammaPerS, kappa, oneQubitError, measureError);
+}
+
+void
+HardwareParams::validate() const
+{
+    shuttle.validate();
+    fatalUnless(bufferSlots >= 0, "buffer slots must be non-negative");
+    fatalUnless(recoolFactor > 0 && recoolFactor <= 1.0,
+                "recool factor must be in (0, 1]");
+    // The model constructors validate their own parameters.
+    gateTimeModel();
+    heatingModel();
+    fidelityModel();
+}
+
+} // namespace qccd

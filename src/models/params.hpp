@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Aggregated hardware parameter set for one candidate QCCD design.
+ *
+ * HardwareParams bundles the four physical models (gate time, shuttle
+ * time, heating, fidelity) together with the microarchitectural choices
+ * the paper sweeps (two-qubit gate implementation, chain reordering
+ * method) and compiler-visible knobs (buffer slots per trap, optional
+ * sympathetic recooling extension).
+ */
+
+#ifndef QCCD_MODELS_PARAMS_HPP
+#define QCCD_MODELS_PARAMS_HPP
+
+#include <string>
+
+#include "models/fidelity.hpp"
+#include "models/gate_time.hpp"
+#include "models/heating.hpp"
+#include "models/shuttle_time.hpp"
+
+namespace qccd
+{
+
+/** Chain reordering microarchitecture (paper Section IV-C). */
+enum class ReorderMethod
+{
+    GS, ///< gate-based swapping: one SWAP = 3 MS gates
+    IS  ///< physical ion swapping: hop-by-hop split/rotate/merge
+};
+
+/** Short name of a reordering method ("GS" / "IS"). */
+std::string reorderMethodName(ReorderMethod method);
+
+/** Parse a reordering method name; throws ConfigError on bad input. */
+ReorderMethod reorderMethodFromName(const std::string &name);
+
+/** Complete physical + microarchitectural parameterization. */
+struct HardwareParams
+{
+    GateImpl gateImpl = GateImpl::FM;
+    ReorderMethod reorder = ReorderMethod::GS;
+
+    TimeUs oneQubitUs = 5.0;
+    TimeUs measureUs = 150.0;
+    TimeUs twoQubitFloorUs = 10.0;
+
+    ShuttleTimeModel shuttle;
+
+    Quanta heatingK1 = 0.1;
+    Quanta heatingK2 = 0.01;
+
+    double gammaPerS = 1.0;
+    double kappa = 5e-6;
+    double oneQubitError = 3e-5;
+    double measureError = 1e-3;
+
+    /** Trap slots left empty for incoming shuttles (paper Section VI). */
+    int bufferSlots = 2;
+
+    /**
+     * Optional extension (off by default, matching the paper): after each
+     * merge the chain is sympathetically recooled to this fraction of its
+     * energy. 1.0 disables recooling.
+     */
+    double recoolFactor = 1.0;
+
+    /** Instantiate the gate-duration model from these parameters. */
+    GateTimeModel gateTimeModel() const;
+
+    /** Instantiate the heating model from these parameters. */
+    HeatingModel heatingModel() const;
+
+    /** Instantiate the fidelity model from these parameters. */
+    FidelityModel fidelityModel() const;
+
+    /** Validate all parameters; throws ConfigError on violations. */
+    void validate() const;
+};
+
+} // namespace qccd
+
+#endif // QCCD_MODELS_PARAMS_HPP

@@ -1,0 +1,23 @@
+#include "models/shuttle_time.hpp"
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+TimeUs
+ShuttleTimeModel::junctionCrossing(int degree) const
+{
+    panicUnless(degree >= 3, "junction degree must be at least 3");
+    return degree == 3 ? yJunction : xJunction;
+}
+
+void
+ShuttleTimeModel::validate() const
+{
+    fatalUnless(movePerSegment > 0 && split > 0 && merge > 0 &&
+                yJunction > 0 && xJunction > 0 && ionSwapRotation > 0,
+                "all shuttle operation times must be positive");
+}
+
+} // namespace qccd

@@ -1,0 +1,122 @@
+#include "sim/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace qccd
+{
+
+double
+ResourceUsage::utilization(TimeUs makespan) const
+{
+    return makespan > 0 ? busy / makespan : 0.0;
+}
+
+TraceAnalysis
+analyzeTrace(const Trace &trace, const Topology &topo)
+{
+    TraceAnalysis analysis;
+    analysis.traps.resize(topo.trapCount());
+    analysis.edges.resize(topo.edgeCount());
+    analysis.junctions.resize(topo.nodeCount());
+
+    TimeUs total_busy = 0;
+    std::vector<std::pair<TimeUs, int>> events; // (+1 at start, -1 at end)
+    events.reserve(trace.size() * 2);
+
+    for (const PrimOp &op : trace) {
+        analysis.makespan = std::max(analysis.makespan, op.end());
+        total_busy += op.duration;
+        if (op.duration > 0) {
+            events.emplace_back(op.start, +1);
+            events.emplace_back(op.end(), -1);
+        }
+        if (op.trap != kInvalidId) {
+            panicUnless(op.trap >= 0 && op.trap < topo.trapCount(),
+                        "trace names an invalid trap");
+            ++analysis.traps[op.trap].ops;
+            analysis.traps[op.trap].busy += op.duration;
+        }
+        if (op.edge != kInvalidId) {
+            panicUnless(op.edge >= 0 && op.edge < topo.edgeCount(),
+                        "trace names an invalid edge");
+            ++analysis.edges[op.edge].ops;
+            analysis.edges[op.edge].busy += op.duration;
+        }
+        if (op.junction != kInvalidId) {
+            panicUnless(op.junction >= 0 &&
+                        op.junction < topo.nodeCount(),
+                        "trace names an invalid junction");
+            ++analysis.junctions[op.junction].ops;
+            analysis.junctions[op.junction].busy += op.duration;
+        }
+    }
+
+    if (analysis.makespan > 0)
+        analysis.meanParallelism = total_busy / analysis.makespan;
+
+    // Sweep events by time; ends sort before starts at equal times so
+    // back-to-back ops do not double-count.
+    std::sort(events.begin(), events.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second;
+              });
+    int live = 0;
+    for (const auto &[time, delta] : events) {
+        live += delta;
+        analysis.peakParallelism =
+            std::max(analysis.peakParallelism, live);
+    }
+
+    TimeUs best_busy = -1;
+    for (TrapId t = 0; t < topo.trapCount(); ++t) {
+        if (analysis.traps[t].busy > best_busy) {
+            best_busy = analysis.traps[t].busy;
+            analysis.busiestTrap = t;
+        }
+    }
+    return analysis;
+}
+
+std::string
+TraceAnalysis::report() const
+{
+    std::ostringstream out;
+    out << "makespan: " << makespan / kSecondUs << " s, mean parallelism "
+        << formatSig(meanParallelism, 3) << ", peak "
+        << peakParallelism << "\n";
+    TextTable table;
+    table.addRow({"resource", "ops", "busy (s)", "utilization"});
+    for (size_t t = 0; t < traps.size(); ++t) {
+        table.addRow({"trap " + std::to_string(t),
+                      std::to_string(traps[t].ops),
+                      formatSig(traps[t].busy / kSecondUs, 4),
+                      formatFixed(traps[t].utilization(makespan), 3)});
+    }
+    for (size_t e = 0; e < edges.size(); ++e) {
+        if (edges[e].ops == 0)
+            continue;
+        table.addRow({"edge " + std::to_string(e),
+                      std::to_string(edges[e].ops),
+                      formatSig(edges[e].busy / kSecondUs, 4),
+                      formatFixed(edges[e].utilization(makespan), 3)});
+    }
+    for (size_t j = 0; j < junctions.size(); ++j) {
+        if (junctions[j].ops == 0)
+            continue;
+        table.addRow({"junction " + std::to_string(j),
+                      std::to_string(junctions[j].ops),
+                      formatSig(junctions[j].busy / kSecondUs, 4),
+                      formatFixed(junctions[j].utilization(makespan),
+                                  3)});
+    }
+    out << table.render();
+    return out.str();
+}
+
+} // namespace qccd

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Post-run trace analysis: per-trap utilization, shuttle-network load,
+ * and a parallelism profile. Complements the scalar metrics of
+ * metrics.hpp with the per-resource views an architect needs to spot
+ * bottlenecks (e.g. a congested junction or one overloaded trap).
+ */
+
+#ifndef QCCD_SIM_ANALYSIS_HPP
+#define QCCD_SIM_ANALYSIS_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "sim/trace.hpp"
+
+namespace qccd
+{
+
+/** Busy-time accounting for one resource. */
+struct ResourceUsage
+{
+    long ops = 0;
+    TimeUs busy = 0;
+
+    /** Busy fraction of @p makespan (0 when makespan is 0). */
+    double utilization(TimeUs makespan) const;
+};
+
+/** Aggregate per-resource views over one trace. */
+struct TraceAnalysis
+{
+    TimeUs makespan = 0;
+    std::vector<ResourceUsage> traps;     ///< indexed by TrapId
+    std::vector<ResourceUsage> edges;     ///< indexed by EdgeId
+    std::vector<ResourceUsage> junctions; ///< indexed by NodeId
+
+    /**
+     * Average number of concurrently executing primitives, i.e. total
+     * busy time across all ops divided by the makespan.
+     */
+    double meanParallelism = 0;
+
+    /** Peak number of simultaneously executing primitives. */
+    int peakParallelism = 0;
+
+    /** Index of the busiest trap (kInvalidId when no trap ops). */
+    TrapId busiestTrap = kInvalidId;
+
+    /** Render a human-readable utilization report. */
+    std::string report() const;
+};
+
+/** Analyze @p trace against @p topo. */
+TraceAnalysis analyzeTrace(const Trace &trace, const Topology &topo);
+
+} // namespace qccd
+
+#endif // QCCD_SIM_ANALYSIS_HPP

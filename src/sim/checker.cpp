@@ -1,0 +1,120 @@
+#include "sim/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace qccd
+{
+
+void
+CheckReport::fail(std::string message)
+{
+    ok = false;
+    if (violations.size() < 50)
+        violations.push_back(std::move(message));
+}
+
+namespace
+{
+
+/** Interval with origin op index for overlap diagnostics. */
+struct Interval
+{
+    TimeUs start;
+    TimeUs end;
+    size_t op;
+};
+
+void
+checkNoOverlap(CheckReport &report, const std::string &resource,
+               std::vector<Interval> &intervals)
+{
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+    for (size_t i = 1; i < intervals.size(); ++i) {
+        // Zero-duration ops may share an instant; real overlap needs
+        // strictly positive intersection.
+        if (intervals[i].start < intervals[i - 1].end - 1e-9) {
+            std::ostringstream msg;
+            msg << resource << ": op " << intervals[i].op
+                << " starts at " << intervals[i].start
+                << " before op " << intervals[i - 1].op << " ends at "
+                << intervals[i - 1].end;
+            report.fail(msg.str());
+        }
+    }
+}
+
+} // namespace
+
+CheckReport
+checkTrace(const Trace &trace, const Topology &topo)
+{
+    CheckReport report;
+
+    std::map<TrapId, std::vector<Interval>> traps;
+    std::map<EdgeId, std::vector<Interval>> edges;
+    std::map<NodeId, std::vector<Interval>> junctions;
+    std::map<QubitId, std::vector<Interval>> qubits;
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const PrimOp &op = trace[i];
+        if (op.start < 0)
+            report.fail("op " + std::to_string(i) + " starts before 0");
+        if (op.duration < 0)
+            report.fail("op " + std::to_string(i) +
+                        " has negative duration");
+        if (op.fidelity < 0 || op.fidelity > 1)
+            report.fail("op " + std::to_string(i) +
+                        " has fidelity outside [0, 1]");
+
+        const Interval iv{op.start, op.end(), i};
+        if (op.trap != kInvalidId) {
+            if (op.trap < 0 || op.trap >= topo.trapCount())
+                report.fail("op " + std::to_string(i) +
+                            " names an invalid trap");
+            else
+                traps[op.trap].push_back(iv);
+        }
+        if (op.edge != kInvalidId) {
+            if (op.edge < 0 || op.edge >= topo.edgeCount())
+                report.fail("op " + std::to_string(i) +
+                            " names an invalid edge");
+            else
+                edges[op.edge].push_back(iv);
+        }
+        if (op.junction != kInvalidId)
+            junctions[op.junction].push_back(iv);
+        if (op.q0 != kInvalidId)
+            qubits[op.q0].push_back(iv);
+        if (op.q1 != kInvalidId)
+            qubits[op.q1].push_back(iv);
+
+        if (op.kind == PrimKind::GateMS) {
+            if (op.separation < 1 || op.separation >= op.chainLength)
+                report.fail("MS op " + std::to_string(i) +
+                            " has invalid geometry (d=" +
+                            std::to_string(op.separation) + ", N=" +
+                            std::to_string(op.chainLength) + ")");
+            if (op.nbar < 0)
+                report.fail("MS op " + std::to_string(i) +
+                            " has negative motional energy");
+        }
+    }
+
+    for (auto &[t, ivs] : traps)
+        checkNoOverlap(report, "trap " + std::to_string(t), ivs);
+    for (auto &[e, ivs] : edges)
+        checkNoOverlap(report, "edge " + std::to_string(e), ivs);
+    for (auto &[n, ivs] : junctions)
+        checkNoOverlap(report, "junction " + std::to_string(n), ivs);
+    for (auto &[q, ivs] : qubits)
+        checkNoOverlap(report, "qubit " + std::to_string(q), ivs);
+
+    return report;
+}
+
+} // namespace qccd

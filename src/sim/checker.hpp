@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Post-hoc validation of a scheduled trace.
+ *
+ * Replays a trace and verifies the architectural invariants the
+ * scheduler must uphold: exclusive resources never host overlapping
+ * operations, per-qubit operations respect program order, durations are
+ * non-negative, and fidelities lie in [0, 1]. Used by the test suite as
+ * a property check over every scheduled workload.
+ */
+
+#ifndef QCCD_SIM_CHECKER_HPP
+#define QCCD_SIM_CHECKER_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "sim/trace.hpp"
+
+namespace qccd
+{
+
+/** Result of validating one trace. */
+struct CheckReport
+{
+    bool ok = true;
+    std::vector<std::string> violations;
+
+    /** Append a violation and flip ok. */
+    void fail(std::string message);
+};
+
+/**
+ * Validate @p trace against @p topo.
+ *
+ * Checks:
+ *  - every op has non-negative start and duration, fidelity in [0, 1];
+ *  - ops on the same trap resource do not overlap in time;
+ *  - ops on the same edge / junction resource do not overlap;
+ *  - ops touching the same logical qubit do not overlap;
+ *  - MS gates have sane geometry (1 <= separation < chainLength).
+ */
+CheckReport checkTrace(const Trace &trace, const Topology &topo);
+
+} // namespace qccd
+
+#endif // QCCD_SIM_CHECKER_HPP

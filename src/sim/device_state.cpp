@@ -1,0 +1,200 @@
+#include "sim/device_state.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+DeviceState::DeviceState(const Topology &topo, int num_ions)
+    : topo_(topo), chains_(topo.trapCount()),
+      ionTrap_(num_ions, kInvalidId), ionPayload_(num_ions, kInvalidId),
+      qubitIon_(num_ions, kInvalidId), flightEnergy_(num_ions, 0),
+      trapRes_(topo.trapCount()), edgeRes_(topo.edgeCount()),
+      nodeRes_(topo.nodeCount())
+{
+    fatalUnless(num_ions >= 1, "device state needs at least one ion");
+    fatalUnless(num_ions <= topo.totalCapacity(),
+                "application does not fit: " + std::to_string(num_ions) +
+                " qubits > device capacity " +
+                std::to_string(topo.totalCapacity()));
+}
+
+void
+DeviceState::placeIon(TrapId t, IonId ion, QubitId payload)
+{
+    panicUnless(t >= 0 && t < topo_.trapCount(), "trap out of range");
+    panicUnless(ion >= 0 && ion < numIons(), "ion out of range");
+    panicUnless(ionTrap_[ion] == kInvalidId && ionPayload_[ion] ==
+                kInvalidId, "ion already placed");
+    ChainState &c = chains_[t];
+    fatalUnless(c.size() < topo_.node(topo_.trapNode(t)).capacity,
+                "initial layout exceeds trap capacity");
+    c.ions.push_back(ion);
+    ionTrap_[ion] = t;
+    ionPayload_[ion] = payload;
+    qubitIon_[payload] = ion;
+}
+
+const ChainState &
+DeviceState::chain(TrapId t) const
+{
+    panicUnless(t >= 0 && t < topo_.trapCount(), "trap out of range");
+    return chains_[t];
+}
+
+void
+DeviceState::setEnergy(TrapId t, Quanta e)
+{
+    panicUnless(t >= 0 && t < topo_.trapCount(), "trap out of range");
+    panicUnless(e >= 0, "chain energy cannot be negative");
+    chains_[t].energy = e;
+    maxEnergySeen_ = std::max(maxEnergySeen_, e);
+}
+
+TrapId
+DeviceState::trapOf(IonId ion) const
+{
+    panicUnless(ion >= 0 && ion < numIons(), "ion out of range");
+    return ionTrap_[ion];
+}
+
+int
+DeviceState::positionOf(IonId ion) const
+{
+    const TrapId t = trapOf(ion);
+    panicUnless(t != kInvalidId, "ion is in flight");
+    const auto &ions = chains_[t].ions;
+    const auto it = std::find(ions.begin(), ions.end(), ion);
+    panicUnless(it != ions.end(), "ion/trap bookkeeping out of sync");
+    return static_cast<int>(it - ions.begin());
+}
+
+QubitId
+DeviceState::payloadOf(IonId ion) const
+{
+    panicUnless(ion >= 0 && ion < numIons(), "ion out of range");
+    return ionPayload_[ion];
+}
+
+IonId
+DeviceState::ionOf(QubitId q) const
+{
+    panicUnless(q >= 0 && q < static_cast<int>(qubitIon_.size()),
+                "qubit out of range");
+    return qubitIon_[q];
+}
+
+void
+DeviceState::swapPayloads(IonId a, IonId b)
+{
+    panicUnless(a != b, "cannot swap an ion's payload with itself");
+    std::swap(ionPayload_[a], ionPayload_[b]);
+    qubitIon_[ionPayload_[a]] = a;
+    qubitIon_[ionPayload_[b]] = b;
+}
+
+IonId
+DeviceState::swapToward(IonId ion, ChainEnd end)
+{
+    const TrapId t = trapOf(ion);
+    panicUnless(t != kInvalidId, "ion is in flight");
+    auto &ions = chains_[t].ions;
+    const int pos = positionOf(ion);
+    const int next = end == ChainEnd::Left ? pos - 1 : pos + 1;
+    panicUnless(next >= 0 && next < static_cast<int>(ions.size()),
+                "ion swap would fall off the chain end");
+    std::swap(ions[pos], ions[next]);
+    return ions[pos];
+}
+
+IonId
+DeviceState::detachEnd(TrapId t, ChainEnd end, Quanta ion_energy)
+{
+    ChainState &c = chains_[t];
+    panicUnless(c.size() >= 1, "cannot split an empty chain");
+    IonId ion;
+    if (end == ChainEnd::Left) {
+        ion = c.ions.front();
+        c.ions.erase(c.ions.begin());
+    } else {
+        ion = c.ions.back();
+        c.ions.pop_back();
+    }
+    ionTrap_[ion] = kInvalidId;
+    flightEnergy_[ion] = ion_energy;
+    maxEnergySeen_ = std::max(maxEnergySeen_, ion_energy);
+    return ion;
+}
+
+void
+DeviceState::attachEnd(TrapId t, ChainEnd end, IonId ion)
+{
+    panicUnless(ionTrap_[ion] == kInvalidId,
+                "attachEnd requires an in-flight ion");
+    ChainState &c = chains_[t];
+    if (end == ChainEnd::Left)
+        c.ions.insert(c.ions.begin(), ion);
+    else
+        c.ions.push_back(ion);
+    ionTrap_[ion] = t;
+}
+
+Quanta
+DeviceState::flightEnergy(IonId ion) const
+{
+    panicUnless(ionTrap_[ion] == kInvalidId, "ion is not in flight");
+    return flightEnergy_[ion];
+}
+
+void
+DeviceState::setFlightEnergy(IonId ion, Quanta e)
+{
+    panicUnless(ionTrap_[ion] == kInvalidId, "ion is not in flight");
+    panicUnless(e >= 0, "ion energy cannot be negative");
+    flightEnergy_[ion] = e;
+    maxEnergySeen_ = std::max(maxEnergySeen_, e);
+}
+
+ChainEnd
+DeviceState::portEnd(TrapId t, EdgeId e) const
+{
+    const NodeId trap_node = topo_.trapNode(t);
+    const TopoEdge &edge = topo_.edge(e);
+    panicUnless(edge.a == trap_node || edge.b == trap_node,
+                "edge is not incident to trap");
+    return edge.other(trap_node) < trap_node ? ChainEnd::Left
+                                             : ChainEnd::Right;
+}
+
+int
+DeviceState::freeSlots(TrapId t) const
+{
+    return topo_.node(topo_.trapNode(t)).capacity - chain(t).size();
+}
+
+ResourceTimeline &
+DeviceState::trapTimeline(TrapId t)
+{
+    panicUnless(t >= 0 && t < topo_.trapCount(), "trap out of range");
+    return trapRes_[t];
+}
+
+ResourceTimeline &
+DeviceState::edgeTimeline(EdgeId e)
+{
+    panicUnless(e >= 0 && e < topo_.edgeCount(), "edge out of range");
+    return edgeRes_[e];
+}
+
+ResourceTimeline &
+DeviceState::junctionTimeline(NodeId n)
+{
+    panicUnless(n >= 0 && n < topo_.nodeCount(), "node out of range");
+    panicUnless(topo_.node(n).kind == NodeKind::Junction,
+                "node is not a junction");
+    return nodeRes_[n];
+}
+
+} // namespace qccd

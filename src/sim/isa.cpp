@@ -1,0 +1,148 @@
+#include "sim/isa.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+namespace
+{
+
+PrimKind
+primKindFromName(const std::string &name)
+{
+    if (name == "ms") return PrimKind::GateMS;
+    if (name == "1q") return PrimKind::Gate1Q;
+    if (name == "measure") return PrimKind::Measure;
+    if (name == "split") return PrimKind::Split;
+    if (name == "merge") return PrimKind::Merge;
+    if (name == "move") return PrimKind::Move;
+    if (name == "junction") return PrimKind::JunctionCross;
+    if (name == "rotate") return PrimKind::Rotate;
+    if (name == "transit") return PrimKind::Transit;
+    throw ConfigError("unknown QCCD instruction '" + name + "'");
+}
+
+} // namespace
+
+std::string
+writeIsa(const Trace &trace)
+{
+    std::ostringstream out;
+    out << "# QCCD executable, " << trace.size() << " primitives\n";
+    out.precision(17);
+    for (const PrimOp &op : trace) {
+        out << op.start << " " << op.duration << " "
+            << primKindName(op.kind);
+        if (op.trap != kInvalidId)
+            out << " trap=" << op.trap;
+        if (op.edge != kInvalidId)
+            out << " edge=" << op.edge;
+        if (op.junction != kInvalidId)
+            out << " junction=" << op.junction;
+        if (op.ion != kInvalidId)
+            out << " ion=" << op.ion;
+        if (op.q0 != kInvalidId)
+            out << " q0=" << op.q0;
+        if (op.q1 != kInvalidId)
+            out << " q1=" << op.q1;
+        if (op.kind == PrimKind::GateMS) {
+            out << " d=" << op.separation << " n=" << op.chainLength
+                << " nbar=" << op.nbar;
+        }
+        out << " fid=" << op.fidelity;
+        if (op.forCommunication)
+            out << " comm";
+        out << "\n";
+    }
+    return out.str();
+}
+
+Trace
+parseIsa(const std::string &text)
+{
+    Trace trace;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream fields(line);
+        PrimOp op;
+        std::string kind;
+        if (!(fields >> op.start >> op.duration >> kind)) {
+            // Blank or comment-only line.
+            bool blank = true;
+            for (char c : line)
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    blank = false;
+            fatalUnless(blank, "malformed QCCD instruction at line " +
+                        std::to_string(line_no));
+            continue;
+        }
+        op.kind = primKindFromName(kind);
+
+        std::string attr;
+        while (fields >> attr) {
+            if (attr == "comm") {
+                op.forCommunication = true;
+                continue;
+            }
+            const size_t eq = attr.find('=');
+            fatalUnless(eq != std::string::npos,
+                        "malformed attribute '" + attr + "' at line " +
+                        std::to_string(line_no));
+            const std::string key = attr.substr(0, eq);
+            const std::string value = attr.substr(eq + 1);
+            try {
+                if (key == "trap") op.trap = std::stoi(value);
+                else if (key == "edge") op.edge = std::stoi(value);
+                else if (key == "junction")
+                    op.junction = std::stoi(value);
+                else if (key == "ion") op.ion = std::stoi(value);
+                else if (key == "q0") op.q0 = std::stoi(value);
+                else if (key == "q1") op.q1 = std::stoi(value);
+                else if (key == "d") op.separation = std::stoi(value);
+                else if (key == "n") op.chainLength = std::stoi(value);
+                else if (key == "nbar") op.nbar = std::stod(value);
+                else if (key == "fid") op.fidelity = std::stod(value);
+                else
+                    throw ConfigError("unknown attribute '" + key +
+                                      "' at line " +
+                                      std::to_string(line_no));
+            } catch (const std::invalid_argument &) {
+                throw ConfigError("bad value in '" + attr +
+                                  "' at line " + std::to_string(line_no));
+            }
+        }
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+void
+writeIsaFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    fatalUnless(out.good(), "cannot write ISA file '" + path + "'");
+    out << writeIsa(trace);
+    fatalUnless(out.good(), "error writing ISA file '" + path + "'");
+}
+
+Trace
+parseIsaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalUnless(in.good(), "cannot open ISA file '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseIsa(buf.str());
+}
+
+} // namespace qccd

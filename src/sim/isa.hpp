@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Textual QCCD instruction set serialization.
+ *
+ * The paper's compiler emits "an executable with primitive QCCD
+ * instructions" (Section V-A). This module renders a scheduled trace as
+ * that executable - one primitive per line with its resources, operands
+ * and times - and parses it back, so compiled programs can be archived,
+ * diffed and replayed by external tools.
+ *
+ * Format (whitespace-separated, one op per line, '#' comments):
+ *
+ *   <start> <duration> <kind> [trap=N] [edge=N] [junction=N] [ion=N]
+ *           [q0=N] [q1=N] [d=N] [n=N] [nbar=F] [fid=F] [comm]
+ */
+
+#ifndef QCCD_SIM_ISA_HPP
+#define QCCD_SIM_ISA_HPP
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace qccd
+{
+
+/** Render @p trace as QCCD assembly text. */
+std::string writeIsa(const Trace &trace);
+
+/**
+ * Parse QCCD assembly text back into a trace.
+ *
+ * @throws ConfigError on malformed input
+ */
+Trace parseIsa(const std::string &text);
+
+/** Write @p trace to @p path. @throws ConfigError if unwritable. */
+void writeIsaFile(const Trace &trace, const std::string &path);
+
+/** Read a trace from @p path. @throws ConfigError if unreadable. */
+Trace parseIsaFile(const std::string &path);
+
+} // namespace qccd
+
+#endif // QCCD_SIM_ISA_HPP

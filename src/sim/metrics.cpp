@@ -1,0 +1,87 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qccd
+{
+
+namespace
+{
+
+/** Fidelity floor so the log product stays finite. */
+constexpr double kMinFidelity = 1e-15;
+
+} // namespace
+
+double
+SimResult::fidelity() const
+{
+    return std::exp(logFidelity);
+}
+
+double
+SimResult::meanBackgroundError() const
+{
+    const long ms = counts.totalMs();
+    return ms == 0 ? 0.0 : sumBackgroundError / ms;
+}
+
+double
+SimResult::meanMotionalError() const
+{
+    const long ms = counts.totalMs();
+    return ms == 0 ? 0.0 : sumMotionalError / ms;
+}
+
+void
+SimResult::noteOp(const PrimOp &op)
+{
+    makespan = std::max(makespan, op.end());
+
+    switch (op.kind) {
+      case PrimKind::GateMS:
+        if (op.forCommunication)
+            ++counts.reorderMs;
+        else
+            ++counts.algorithmMs;
+        sumBackgroundError += op.errBackground;
+        sumMotionalError += op.errMotional;
+        break;
+      case PrimKind::Gate1Q:
+        ++counts.oneQubit;
+        break;
+      case PrimKind::Measure:
+        ++counts.measurements;
+        break;
+      case PrimKind::Split:
+        ++counts.splits;
+        break;
+      case PrimKind::Merge:
+        ++counts.merges;
+        break;
+      case PrimKind::Move:
+        ++counts.moves;
+        break;
+      case PrimKind::JunctionCross:
+        ++counts.junctionCrossings;
+        break;
+      case PrimKind::Rotate:
+        ++counts.rotations;
+        break;
+      case PrimKind::Transit:
+        ++counts.transits;
+        break;
+    }
+
+    if (op.forCommunication)
+        commBusy += op.duration;
+    else
+        computeBusy += op.duration;
+
+    if (op.fidelity <= 0)
+        ++zeroFidelityOps;
+    logFidelity += std::log(std::max(op.fidelity, kMinFidelity));
+}
+
+} // namespace qccd

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Monotone resource timelines.
+ *
+ * The simulator models QCCD parallelism constraints (paper Section V-B:
+ * gates within a trap execute serially; independent shuttles run in
+ * parallel with each other and with gates in other traps) by giving each
+ * trap, segment run, and junction an exclusive timeline. A primitive
+ * operation acquires its resource no earlier than both the operation's
+ * data-ready time and the resource's free time; waiting at a busy
+ * junction (the paper's inserted "wait operations") falls out naturally.
+ */
+
+#ifndef QCCD_SIM_RESOURCES_HPP
+#define QCCD_SIM_RESOURCES_HPP
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace qccd
+{
+
+/** Exclusive-use timeline for one hardware resource. */
+class ResourceTimeline
+{
+  public:
+    /**
+     * Reserve the resource for @p duration starting no earlier than
+     * @p ready.
+     *
+     * @return the actual start time granted
+     */
+    TimeUs acquire(TimeUs ready, TimeUs duration)
+    {
+        const TimeUs start = std::max(ready, freeAt_);
+        freeAt_ = start + duration;
+        return start;
+    }
+
+    /** Earliest time the resource is free. */
+    TimeUs freeAt() const { return freeAt_; }
+
+  private:
+    TimeUs freeAt_ = 0;
+};
+
+} // namespace qccd
+
+#endif // QCCD_SIM_RESOURCES_HPP

@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+std::string
+primKindName(PrimKind kind)
+{
+    switch (kind) {
+      case PrimKind::GateMS: return "ms";
+      case PrimKind::Gate1Q: return "1q";
+      case PrimKind::Measure: return "measure";
+      case PrimKind::Split: return "split";
+      case PrimKind::Merge: return "merge";
+      case PrimKind::Move: return "move";
+      case PrimKind::JunctionCross: return "junction";
+      case PrimKind::Rotate: return "rotate";
+      case PrimKind::Transit: return "transit";
+    }
+    throw InternalError("unknown PrimKind");
+}
+
+std::string
+dumpTrace(const Trace &trace, size_t max_ops)
+{
+    std::ostringstream out;
+    size_t shown = 0;
+    for (const PrimOp &op : trace) {
+        if (shown++ >= max_ops) {
+            out << "... (" << trace.size() - max_ops
+                << " more ops)\n";
+            break;
+        }
+        out << "[" << op.start << " +" << op.duration << "] "
+            << primKindName(op.kind);
+        if (op.trap != kInvalidId)
+            out << " trap=" << op.trap;
+        if (op.edge != kInvalidId)
+            out << " edge=" << op.edge;
+        if (op.junction != kInvalidId)
+            out << " junction=" << op.junction;
+        if (op.ion != kInvalidId)
+            out << " ion=" << op.ion;
+        if (op.q0 != kInvalidId)
+            out << " q0=" << op.q0;
+        if (op.q1 != kInvalidId)
+            out << " q1=" << op.q1;
+        if (op.kind == PrimKind::GateMS)
+            out << " d=" << op.separation << " N=" << op.chainLength
+                << " nbar=" << op.nbar << " F=" << op.fidelity;
+        if (op.forCommunication)
+            out << " [comm]";
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace qccd

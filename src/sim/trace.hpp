@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Execution trace of primitive QCCD operations.
+ *
+ * The scheduler records every primitive it schedules; the trace drives
+ * metric extraction, invariant checking (sim/checker.hpp) and debugging
+ * dumps. One trace entry corresponds to one atomic reservation of one
+ * hardware resource.
+ */
+
+#ifndef QCCD_SIM_TRACE_HPP
+#define QCCD_SIM_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qccd
+{
+
+/** Kind of a primitive operation. */
+enum class PrimKind
+{
+    GateMS,       ///< two-qubit MS gate (algorithm or reorder)
+    Gate1Q,       ///< single-qubit gate
+    Measure,      ///< qubit measurement
+    Split,        ///< split an ion off a chain
+    Merge,        ///< merge an ion into a chain
+    Move,         ///< transport across one edge (segment run)
+    JunctionCross,///< cross a junction
+    Rotate,       ///< 180-degree two-ion rotation (IS hop)
+    Transit       ///< pass through an empty trap without merging
+};
+
+/** Printable name of a primitive kind. */
+std::string primKindName(PrimKind kind);
+
+/** One scheduled primitive operation. */
+struct PrimOp
+{
+    PrimKind kind = PrimKind::GateMS;
+    TimeUs start = 0;
+    TimeUs duration = 0;
+
+    TrapId trap = kInvalidId;     ///< trap resource used (if any)
+    EdgeId edge = kInvalidId;     ///< edge resource used (Move)
+    NodeId junction = kInvalidId; ///< junction resource (JunctionCross)
+
+    IonId ion = kInvalidId;       ///< shuttled ion (shuttle primitives)
+    QubitId q0 = kInvalidId;      ///< first logical operand (gates)
+    QubitId q1 = kInvalidId;      ///< second logical operand (MS)
+
+    int chainLength = 0;          ///< chain length at gate time (MS)
+    int separation = 0;           ///< ion separation at gate time (MS)
+    Quanta nbar = 0;              ///< chain energy at gate time (MS)
+    double errBackground = 0;     ///< Gamma*tau error term (MS)
+    double errMotional = 0;       ///< A*(2nbar+1) error term (MS)
+    double fidelity = 1.0;        ///< op fidelity contribution
+
+    bool forCommunication = false;///< true for reorder/shuttle-support ops
+
+    TimeUs end() const { return start + duration; }
+};
+
+/** Whole-run trace. */
+using Trace = std::vector<PrimOp>;
+
+/** Render a compact human-readable dump of @p trace (for debugging). */
+std::string dumpTrace(const Trace &trace, size_t max_ops = 100);
+
+} // namespace qccd
+
+#endif // QCCD_SIM_TRACE_HPP

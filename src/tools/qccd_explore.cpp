@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Command-line driver for the QCCDSim toolflow.
+ *
+ * Usage:
+ *   qccd_explore [--app NAME | --qasm FILE] [--topology SPEC]
+ *                [--capacity N] [--gate AM1|AM2|PM|FM]
+ *                [--reorder GS|IS] [--buffer N] [--decompose]
+ *                [--trace N] [--list]
+ *
+ * Examples:
+ *   qccd_explore --app qft --topology linear:6 --capacity 22 --gate FM
+ *   qccd_explore --qasm mycircuit.qasm --topology grid:2x3 --capacity 20
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/qasm/parser.hpp"
+#include "circuit/stats.hpp"
+#include "common/error.hpp"
+#include "compiler/mapping.hpp"
+#include "core/recommend.hpp"
+#include "core/report.hpp"
+#include "core/toolflow.hpp"
+#include "sim/analysis.hpp"
+#include "sim/checker.hpp"
+#include "sim/isa.hpp"
+
+namespace
+{
+
+void
+printUsage()
+{
+    std::cout <<
+        "qccd_explore - QCCD trapped-ion design toolflow\n"
+        "\n"
+        "  --app NAME        benchmark application (see --list)\n"
+        "  --qasm FILE       OpenQASM 2.0 circuit file instead of --app\n"
+        "  --topology SPEC   linear:N or grid:RxC (default linear:6)\n"
+        "  --capacity N      ions per trap (default 22)\n"
+        "  --gate IMPL       AM1 | AM2 | PM | FM (default FM)\n"
+        "  --reorder METHOD  GS | IS (default GS)\n"
+        "  --buffer N        buffer slots per trap (default 2)\n"
+        "  --policy P        mapping policy: packed | balanced\n"
+        "  --decompose       report compute/communication time split\n"
+        "  --trace N         dump the first N scheduled primitives\n"
+        "  --analyze         print per-resource utilization report\n"
+        "  --emit-isa FILE   write the compiled QCCD executable\n"
+        "  --recommend       rank the paper's design space for the app\n"
+        "  --list            list available benchmark applications\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qccd;
+
+    std::string app = "qft";
+    std::string qasm_file;
+    DesignPoint design;
+    RunOptions options;
+    int trace_ops = 0;
+    bool analyze = false;
+    bool recommend = false;
+    std::string isa_file;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                fatalUnless(i + 1 < argc, "missing value for " + arg);
+                return argv[++i];
+            };
+            if (arg == "--help" || arg == "-h") {
+                printUsage();
+                return 0;
+            } else if (arg == "--list") {
+                for (const BenchmarkSpec &spec : benchmarkList())
+                    std::cout << spec.name << " - " << spec.description
+                              << "\n";
+                return 0;
+            } else if (arg == "--app") {
+                app = value();
+            } else if (arg == "--qasm") {
+                qasm_file = value();
+            } else if (arg == "--topology") {
+                design.topologySpec = value();
+            } else if (arg == "--capacity") {
+                design.trapCapacity = std::stoi(value());
+            } else if (arg == "--gate") {
+                design.hw.gateImpl = gateImplFromName(value());
+            } else if (arg == "--reorder") {
+                design.hw.reorder = reorderMethodFromName(value());
+            } else if (arg == "--buffer") {
+                design.hw.bufferSlots = std::stoi(value());
+            } else if (arg == "--policy") {
+                const std::string p = value();
+                if (p == "packed") {
+                    options.mappingPolicy = MappingPolicy::Packed;
+                } else if (p == "balanced") {
+                    options.mappingPolicy = MappingPolicy::Balanced;
+                } else {
+                    throw ConfigError("unknown mapping policy '" + p +
+                                      "' (expected packed or balanced)");
+                }
+            } else if (arg == "--analyze") {
+                analyze = true;
+            } else if (arg == "--recommend") {
+                recommend = true;
+            } else if (arg == "--emit-isa") {
+                isa_file = value();
+            } else if (arg == "--decompose") {
+                options.decomposeRuntime = true;
+            } else if (arg == "--trace") {
+                trace_ops = std::stoi(value());
+            } else {
+                std::cerr << "unknown option " << arg << "\n";
+                printUsage();
+                return 2;
+            }
+        }
+
+        const Circuit circuit = qasm_file.empty()
+                                    ? makeBenchmark(app)
+                                    : qasm::parseFile(qasm_file);
+        const std::string name =
+            qasm_file.empty() ? app : circuit.name();
+
+        const CircuitStats stats = computeStats(circuit);
+        std::cout << "circuit: " << circuit.name() << " ("
+                  << stats.numQubits << " qubits, "
+                  << stats.twoQubitGates << " 2q gates, pattern: "
+                  << stats.patternLabel() << ")\n";
+
+        if (recommend) {
+            const CandidateSpace space;
+            std::cout << "evaluating " << space.size()
+                      << " candidate designs...\n";
+            const auto ranking = rankDesigns(circuit, space);
+            std::cout << rankingTable(ranking, 10);
+            std::cout << "recommended: "
+                      << ranking.front().design.label() << "\n";
+            return 0;
+        }
+
+        if (analyze || !isa_file.empty()) {
+            const ScheduleResult detail =
+                runToolflowDetailed(circuit, design);
+            std::cout << summarizeRun(name, design,
+                                      RunResult{detail.metrics, 0})
+                      << "\n";
+            if (analyze) {
+                std::cout << "\n"
+                          << analyzeTrace(detail.trace,
+                                          design.buildTopology())
+                                 .report();
+            }
+            if (!isa_file.empty()) {
+                writeIsaFile(detail.trace, isa_file);
+                std::cout << "wrote " << detail.trace.size()
+                          << " primitives to " << isa_file << "\n";
+            }
+            return 0;
+        }
+
+        if (trace_ops > 0) {
+            const ScheduleResult detail =
+                runToolflowDetailed(circuit, design);
+            std::cout << summarizeRun(name, design,
+                                      RunResult{detail.metrics, 0})
+                      << "\n\n"
+                      << dumpTrace(detail.trace,
+                                   static_cast<size_t>(trace_ops));
+            const CheckReport check =
+                checkTrace(detail.trace, design.buildTopology());
+            std::cout << "trace invariants: "
+                      << (check.ok ? "ok" : "VIOLATED") << "\n";
+            for (const std::string &v : check.violations)
+                std::cout << "  " << v << "\n";
+            return check.ok ? 0 : 1;
+        }
+
+        const RunResult result = runToolflow(circuit, design, options);
+        std::cout << summarizeRun(name, design, result) << "\n";
+        if (options.decomposeRuntime) {
+            std::cout << "  compute time:       "
+                      << result.computeOnlyTime / kSecondUs << " s\n"
+                      << "  communication time: "
+                      << result.communicationTime() / kSecondUs << " s\n";
+        }
+        return 0;
+    } catch (const QccdError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,99 @@
+/** @file Tests for trace analysis (utilization, parallelism). */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "benchgen/benchgen.hpp"
+#include "core/toolflow.hpp"
+#include "sim/analysis.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+PrimOp
+trapOp(TrapId trap, TimeUs start, TimeUs dur)
+{
+    PrimOp op;
+    op.kind = PrimKind::Gate1Q;
+    op.trap = trap;
+    op.start = start;
+    op.duration = dur;
+    return op;
+}
+
+TEST(Analysis, EmptyTrace)
+{
+    const Topology topo = makeLinear(2, 4);
+    const TraceAnalysis a = analyzeTrace({}, topo);
+    EXPECT_DOUBLE_EQ(a.makespan, 0.0);
+    EXPECT_DOUBLE_EQ(a.meanParallelism, 0.0);
+    EXPECT_EQ(a.peakParallelism, 0);
+    EXPECT_EQ(a.busiestTrap, 0); // all traps tie at zero busy time
+}
+
+TEST(Analysis, UtilizationPerTrap)
+{
+    const Topology topo = makeLinear(2, 4);
+    Trace trace;
+    trace.push_back(trapOp(0, 0, 60));
+    trace.push_back(trapOp(0, 60, 20));
+    trace.push_back(trapOp(1, 0, 40));
+    const TraceAnalysis a = analyzeTrace(trace, topo);
+    EXPECT_DOUBLE_EQ(a.makespan, 80.0);
+    EXPECT_EQ(a.traps[0].ops, 2);
+    EXPECT_DOUBLE_EQ(a.traps[0].busy, 80.0);
+    EXPECT_DOUBLE_EQ(a.traps[0].utilization(a.makespan), 1.0);
+    EXPECT_DOUBLE_EQ(a.traps[1].utilization(a.makespan), 0.5);
+    EXPECT_EQ(a.busiestTrap, 0);
+}
+
+TEST(Analysis, ParallelismProfile)
+{
+    const Topology topo = makeLinear(3, 4);
+    Trace trace;
+    trace.push_back(trapOp(0, 0, 100));
+    trace.push_back(trapOp(1, 0, 100));
+    trace.push_back(trapOp(2, 50, 100));
+    const TraceAnalysis a = analyzeTrace(trace, topo);
+    EXPECT_EQ(a.peakParallelism, 3);
+    EXPECT_DOUBLE_EQ(a.meanParallelism, 300.0 / 150.0);
+}
+
+TEST(Analysis, BackToBackOpsDoNotOverlap)
+{
+    const Topology topo = makeLinear(1, 4);
+    Trace trace;
+    trace.push_back(trapOp(0, 0, 50));
+    trace.push_back(trapOp(0, 50, 50));
+    const TraceAnalysis a = analyzeTrace(trace, topo);
+    EXPECT_EQ(a.peakParallelism, 1);
+}
+
+TEST(Analysis, RealScheduleHasParallelism)
+{
+    // A parallel workload on a 4-trap device should overlap work.
+    const Circuit c = makeBenchmarkSized("supremacy", 16);
+    const ScheduleResult r =
+        runToolflowDetailed(c, DesignPoint::linear(4, 6));
+    const TraceAnalysis a =
+        analyzeTrace(r.trace, makeLinear(4, 6));
+    EXPECT_GT(a.meanParallelism, 1.0);
+    EXPECT_GE(a.peakParallelism, 2);
+    EXPECT_DOUBLE_EQ(a.makespan, r.metrics.makespan);
+}
+
+TEST(Analysis, ReportMentionsResources)
+{
+    const Circuit c = makeBenchmarkSized("bv", 10);
+    const ScheduleResult r =
+        runToolflowDetailed(c, DesignPoint::linear(2, 8));
+    const TraceAnalysis a = analyzeTrace(r.trace, makeLinear(2, 8));
+    const std::string report = a.report();
+    EXPECT_NE(report.find("trap 0"), std::string::npos);
+    EXPECT_NE(report.find("utilization"), std::string::npos);
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,175 @@
+/** @file Unit + property tests for the Table II workload generators. */
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/decompose.hpp"
+#include "circuit/stats.hpp"
+#include "common/error.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Benchgen, QftShape)
+{
+    const Circuit c = makeQft(8);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 8);
+    EXPECT_EQ(s.twoQubitGates, 8 * 7 / 2); // one CPhase per pair
+    EXPECT_EQ(s.measurements, 8);
+    // Native lowering doubles the count.
+    EXPECT_EQ(computeStats(decomposeToNative(c)).twoQubitGates, 8 * 7);
+}
+
+TEST(Benchgen, BvFullSecretCounts)
+{
+    const Circuit c = makeBv(16);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 17);
+    EXPECT_EQ(s.twoQubitGates, 16); // one CX per secret bit
+    EXPECT_EQ(s.measurements, 16);  // data qubits only
+}
+
+TEST(Benchgen, BvRandomSecretIsSparser)
+{
+    const Circuit full = makeBv(32, 7, true);
+    const Circuit rand = makeBv(32, 7, false);
+    EXPECT_LT(computeStats(rand).twoQubitGates,
+              computeStats(full).twoQubitGates);
+    // Deterministic for a fixed seed.
+    const Circuit rand2 = makeBv(32, 7, false);
+    EXPECT_EQ(computeStats(rand).twoQubitGates,
+              computeStats(rand2).twoQubitGates);
+}
+
+TEST(Benchgen, AdderShape)
+{
+    const Circuit c = makeAdder(8);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 17); // 2*8 + carry
+    // Cuccaro: 8 MAJ + 8 UMA blocks, each 2 CX + 1 Toffoli (6 CX).
+    EXPECT_EQ(s.twoQubitGates, 16 * 8);
+    EXPECT_EQ(s.measurements, 8);
+}
+
+TEST(Benchgen, QaoaShape)
+{
+    const Circuit c = makeQaoa(16, 5);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 16);
+    EXPECT_EQ(s.twoQubitGates, 5 * 15 * 2); // layers * (n-1) ZZ * 2 CX
+    EXPECT_EQ(s.maxInteractionDistance, 1); // strictly nearest neighbour
+}
+
+TEST(Benchgen, SupremacyShape)
+{
+    const Circuit c = makeSupremacy(4, 4, 60);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 16);
+    EXPECT_EQ(s.twoQubitGates, 60);
+    // Grid-NN pairs at linear distance 1 (horizontal) or 4 (vertical).
+    for (int d = 0; d < s.numQubits; ++d) {
+        if (d != 1 && d != 4)
+            EXPECT_EQ(s.interactionDistance[d], 0) << "distance " << d;
+    }
+}
+
+TEST(Benchgen, SupremacyDeterministicPerSeed)
+{
+    const Circuit a = makeSupremacy(4, 4, 50, 5);
+    const Circuit b = makeSupremacy(4, 4, 50, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.gate(i).op, b.gate(i).op);
+        EXPECT_EQ(a.gate(i).q0, b.gate(i).q0);
+    }
+}
+
+TEST(Benchgen, SquareRootShape)
+{
+    const Circuit c = makeSquareRoot(10, 1);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 2 * 10); // search + (search-2) scratch + 2
+    EXPECT_GT(s.twoQubitGates, 100);
+    // Ladder couples search qubits to ancillas across the register.
+    EXPECT_GE(s.maxInteractionDistance, 10);
+}
+
+TEST(Benchgen, PaperScaleTableTwo)
+{
+    // Table II targets; generated counts recorded in EXPERIMENTS.md.
+    const CircuitStats sup = computeStats(makeBenchmark("supremacy"));
+    EXPECT_EQ(sup.numQubits, 64);
+    EXPECT_EQ(sup.twoQubitGates, 560);
+
+    const CircuitStats qaoa = computeStats(makeBenchmark("qaoa"));
+    EXPECT_EQ(qaoa.numQubits, 64);
+    EXPECT_EQ(qaoa.twoQubitGates, 1260);
+
+    const CircuitStats sq = computeStats(makeBenchmark("squareroot"));
+    EXPECT_EQ(sq.numQubits, 78);
+
+    const CircuitStats qft = computeStats(
+        decomposeToNative(makeBenchmark("qft")));
+    EXPECT_EQ(qft.numQubits, 64);
+    EXPECT_EQ(qft.twoQubitGates, 4032);
+
+    const CircuitStats adder = computeStats(makeBenchmark("adder"));
+    EXPECT_EQ(adder.numQubits, 63);
+
+    const CircuitStats bv = computeStats(makeBenchmark("bv"));
+    EXPECT_EQ(bv.numQubits, 64);
+    EXPECT_EQ(bv.twoQubitGates, 63);
+}
+
+TEST(Benchgen, RegistryListsTableTwoPlusExtensions)
+{
+    // Six Table II applications plus the GHZ and VQE extensions.
+    const auto list = benchmarkList();
+    EXPECT_EQ(list.size(), 8u);
+    for (const BenchmarkSpec &spec : list)
+        EXPECT_NO_THROW(makeBenchmarkSized(spec.name, 12));
+    EXPECT_THROW(makeBenchmark("nope"), ConfigError);
+    EXPECT_THROW(makeBenchmarkSized("nope", 12), ConfigError);
+}
+
+TEST(Benchgen, InvalidArgumentsRejected)
+{
+    EXPECT_THROW(makeQft(0), ConfigError);
+    EXPECT_THROW(makeBv(0), ConfigError);
+    EXPECT_THROW(makeAdder(0), ConfigError);
+    EXPECT_THROW(makeQaoa(1), ConfigError);
+    EXPECT_THROW(makeQaoa(4, 0), ConfigError);
+    EXPECT_THROW(makeSupremacy(1, 4), ConfigError);
+    EXPECT_THROW(makeSupremacy(4, 4, 0), ConfigError);
+    EXPECT_THROW(makeSquareRoot(2), ConfigError);
+    EXPECT_THROW(makeSquareRoot(5, 0), ConfigError);
+}
+
+/** Property: every generator emits a valid circuit at many sizes. */
+class BenchgenSizes
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(BenchgenSizes, GeneratesValidCircuits)
+{
+    const auto &[name, size] = GetParam();
+    const Circuit c = makeBenchmarkSized(name, size);
+    EXPECT_GE(c.numQubits(), 4);
+    const Circuit native = decomposeToNative(c);
+    for (const Gate &g : native.gates())
+        EXPECT_TRUE(isNative(g.op));
+    EXPECT_GT(computeStats(native).twoQubitGates, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BenchgenSizes,
+    ::testing::Combine(::testing::Values("qft", "bv", "adder", "qaoa",
+                                         "supremacy", "squareroot"),
+                       ::testing::Values(8, 12, 16, 24)));
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,109 @@
+/** @file Unit tests for the linear and grid topology builders. */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "common/error.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Builders, LinearShape)
+{
+    const Topology topo = makeLinear(6, 20);
+    EXPECT_EQ(topo.trapCount(), 6);
+    EXPECT_EQ(topo.junctionCount(), 0);
+    EXPECT_EQ(topo.edgeCount(), 5);
+    EXPECT_TRUE(topo.isConnected());
+    EXPECT_EQ(topo.totalCapacity(), 120);
+    // Interior traps have degree 2, ends degree 1.
+    EXPECT_EQ(topo.degree(topo.trapNode(0)), 1);
+    EXPECT_EQ(topo.degree(topo.trapNode(3)), 2);
+    EXPECT_EQ(topo.degree(topo.trapNode(5)), 1);
+}
+
+TEST(Builders, SingleTrapLinear)
+{
+    const Topology topo = makeLinear(1, 10);
+    EXPECT_EQ(topo.trapCount(), 1);
+    EXPECT_EQ(topo.edgeCount(), 0);
+    EXPECT_TRUE(topo.isConnected());
+}
+
+TEST(Builders, GridTwoByTwoMatchesPaperFigure)
+{
+    // Fig. 2b: a 2x2 QCCD grid has 5 segments and 2 junctions.
+    const Topology topo = makeGrid(2, 2, 4);
+    EXPECT_EQ(topo.trapCount(), 4);
+    EXPECT_EQ(topo.junctionCount(), 2);
+    EXPECT_EQ(topo.edgeCount(), 5);
+    EXPECT_TRUE(topo.isConnected());
+}
+
+TEST(Builders, GridTwoByThreeJunctionDegrees)
+{
+    // G2x3: rail of 3 junctions; ends are 3-way (Y), middle 4-way (X).
+    const Topology topo = makeGrid(2, 3, 20);
+    EXPECT_EQ(topo.trapCount(), 6);
+    EXPECT_EQ(topo.junctionCount(), 3);
+    EXPECT_EQ(topo.edgeCount(), 8);
+
+    int y_count = 0;
+    int x_count = 0;
+    for (NodeId n = 0; n < topo.nodeCount(); ++n) {
+        if (topo.node(n).kind != NodeKind::Junction)
+            continue;
+        if (topo.degree(n) == 3)
+            ++y_count;
+        else if (topo.degree(n) == 4)
+            ++x_count;
+    }
+    EXPECT_EQ(y_count, 2);
+    EXPECT_EQ(x_count, 1);
+}
+
+TEST(Builders, GridTrapsHaveDegreeOne)
+{
+    const Topology topo = makeGrid(2, 3, 20);
+    for (TrapId t = 0; t < topo.trapCount(); ++t)
+        EXPECT_EQ(topo.degree(topo.trapNode(t)), 1);
+}
+
+TEST(Builders, SpecStrings)
+{
+    EXPECT_EQ(makeFromSpec("linear:6", 20).trapCount(), 6);
+    EXPECT_EQ(makeFromSpec("L6", 20).trapCount(), 6);
+    EXPECT_EQ(makeFromSpec("l4", 20).trapCount(), 4);
+    EXPECT_EQ(makeFromSpec("grid:2x3", 20).trapCount(), 6);
+    EXPECT_EQ(makeFromSpec("G2x3", 20).junctionCount(), 3);
+    EXPECT_EQ(makeFromSpec("g3x4", 20).trapCount(), 12);
+}
+
+TEST(Builders, BadSpecsRejected)
+{
+    EXPECT_THROW(makeFromSpec("", 20), ConfigError);
+    EXPECT_THROW(makeFromSpec("hex:3", 20), ConfigError);
+    EXPECT_THROW(makeFromSpec("linear:", 20), ConfigError);
+    EXPECT_THROW(makeFromSpec("linear:abc", 20), ConfigError);
+    EXPECT_THROW(makeFromSpec("grid:2", 20), ConfigError);
+    EXPECT_THROW(makeFromSpec("grid:0x3", 20), ConfigError);
+    EXPECT_THROW(makeFromSpec("grid:2x", 20), ConfigError);
+}
+
+TEST(Builders, GridNeedsTwoColumns)
+{
+    EXPECT_THROW(makeGrid(2, 1, 10), ConfigError);
+    EXPECT_NO_THROW(makeGrid(1, 2, 10));
+}
+
+TEST(Builders, SegmentsPerEdgeRespected)
+{
+    const Topology topo = makeLinear(3, 10, 4);
+    for (EdgeId e = 0; e < topo.edgeCount(); ++e)
+        EXPECT_EQ(topo.edge(e).segments, 4);
+}
+
+} // namespace
+} // namespace qccd

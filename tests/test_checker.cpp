@@ -1,0 +1,164 @@
+/** @file Tests for the trace invariant checker, plus property checks
+ *  that every scheduled workload produces a valid trace. */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "benchgen/benchgen.hpp"
+#include "circuit/decompose.hpp"
+#include "compiler/scheduler.hpp"
+#include "sim/checker.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Checker, AcceptsEmptyTrace)
+{
+    const Topology topo = makeLinear(2, 4);
+    const CheckReport report = checkTrace({}, topo);
+    EXPECT_TRUE(report.ok);
+}
+
+TEST(Checker, DetectsTrapOverlap)
+{
+    const Topology topo = makeLinear(2, 4);
+    Trace trace;
+    PrimOp a;
+    a.kind = PrimKind::Gate1Q;
+    a.trap = 0;
+    a.start = 0;
+    a.duration = 100;
+    PrimOp b = a;
+    b.start = 50;
+    trace.push_back(a);
+    trace.push_back(b);
+    const CheckReport report = checkTrace(trace, topo);
+    EXPECT_FALSE(report.ok);
+    ASSERT_FALSE(report.violations.empty());
+    EXPECT_NE(report.violations[0].find("trap 0"), std::string::npos);
+}
+
+TEST(Checker, DetectsQubitOverlap)
+{
+    const Topology topo = makeLinear(2, 4);
+    Trace trace;
+    PrimOp a;
+    a.kind = PrimKind::Gate1Q;
+    a.trap = 0;
+    a.q0 = 1;
+    a.start = 0;
+    a.duration = 10;
+    PrimOp b = a;
+    b.trap = 1; // different trap, same qubit
+    b.start = 5;
+    trace.push_back(a);
+    trace.push_back(b);
+    EXPECT_FALSE(checkTrace(trace, topo).ok);
+}
+
+TEST(Checker, DetectsNegativeDurationAndBadFidelity)
+{
+    const Topology topo = makeLinear(1, 4);
+    PrimOp op;
+    op.kind = PrimKind::Gate1Q;
+    op.trap = 0;
+    op.duration = -1;
+    op.fidelity = 1.5;
+    const CheckReport report = checkTrace({op}, topo);
+    EXPECT_FALSE(report.ok);
+    EXPECT_GE(report.violations.size(), 2u);
+}
+
+TEST(Checker, DetectsBadMsGeometry)
+{
+    const Topology topo = makeLinear(1, 4);
+    PrimOp op;
+    op.kind = PrimKind::GateMS;
+    op.trap = 0;
+    op.duration = 100;
+    op.separation = 4;
+    op.chainLength = 4; // separation must be < chainLength
+    EXPECT_FALSE(checkTrace({op}, topo).ok);
+}
+
+TEST(Checker, DetectsInvalidResourceIds)
+{
+    const Topology topo = makeLinear(2, 4);
+    PrimOp op;
+    op.kind = PrimKind::Gate1Q;
+    op.trap = 7;
+    op.duration = 1;
+    EXPECT_FALSE(checkTrace({op}, topo).ok);
+
+    PrimOp mv;
+    mv.kind = PrimKind::Move;
+    mv.edge = 9;
+    mv.duration = 1;
+    EXPECT_FALSE(checkTrace({mv}, topo).ok);
+}
+
+TEST(Checker, ZeroDurationOpsMayTouch)
+{
+    const Topology topo = makeLinear(1, 4);
+    Trace trace;
+    PrimOp a;
+    a.kind = PrimKind::Split;
+    a.trap = 0;
+    a.start = 10;
+    a.duration = 0;
+    PrimOp b = a;
+    trace.push_back(a);
+    trace.push_back(b);
+    EXPECT_TRUE(checkTrace(trace, topo).ok);
+}
+
+/**
+ * End-to-end property: every workload, topology and microarchitecture
+ * combination yields a trace satisfying all architectural invariants.
+ */
+class ScheduleInvariants
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string, ReorderMethod>>
+{
+};
+
+TEST_P(ScheduleInvariants, TraceIsValid)
+{
+    const auto &[app, topo_spec, reorder] = GetParam();
+    const Topology topo = makeFromSpec(topo_spec, 8);
+    HardwareParams hw;
+    hw.reorder = reorder;
+    const Circuit native =
+        decomposeToNative(makeBenchmarkSized(app, 16));
+
+    Scheduler sched(native, topo, hw);
+    const ScheduleResult result = sched.run();
+    const CheckReport report = checkTrace(result.trace, topo);
+    EXPECT_TRUE(report.ok);
+    for (const std::string &v : report.violations)
+        ADD_FAILURE() << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ScheduleInvariants,
+    ::testing::Combine(::testing::Values("qft", "bv", "adder", "qaoa",
+                                         "supremacy", "squareroot"),
+                       ::testing::Values("linear:4", "grid:2x2"),
+                       ::testing::Values(ReorderMethod::GS,
+                                         ReorderMethod::IS)),
+    [](const auto &info) {
+        // Structured bindings would introduce commas that break the
+        // INSTANTIATE macro's argument splitting; unpack explicitly.
+        std::string app = std::get<0>(info.param);
+        std::string topo = std::get<1>(info.param);
+        for (char &c : topo)
+            if (c == ':' || c == 'x')
+                c = '_';
+        return app + "_" + topo + "_" +
+               reorderMethodName(std::get<2>(info.param));
+    });
+
+} // namespace
+} // namespace qccd

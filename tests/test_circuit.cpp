@@ -1,0 +1,73 @@
+/** @file Unit tests for the Circuit IR container. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Circuit, BuildsAndStoresGates)
+{
+    Circuit c(3, "demo");
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(2, 0.25);
+    c.measure(1);
+
+    EXPECT_EQ(c.numQubits(), 3);
+    EXPECT_EQ(c.name(), "demo");
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.gate(0).op, Op::H);
+    EXPECT_EQ(c.gate(1).op, Op::CX);
+    EXPECT_EQ(c.gate(2).op, Op::RZ);
+    EXPECT_EQ(c.gate(3).op, Op::Measure);
+}
+
+TEST(Circuit, RejectsOutOfRangeOperands)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.h(2), ConfigError);
+    EXPECT_THROW(c.h(-1), ConfigError);
+    EXPECT_THROW(c.cx(0, 5), ConfigError);
+}
+
+TEST(Circuit, RejectsDegenerateTwoQubitGate)
+{
+    Circuit c(2);
+    Gate g;
+    g.op = Op::CX;
+    g.q0 = 1;
+    g.q1 = 1;
+    EXPECT_THROW(c.add(g), ConfigError);
+}
+
+TEST(Circuit, MeasureAllCoversEveryQubit)
+{
+    Circuit c(4);
+    c.measureAll();
+    ASSERT_EQ(c.size(), 4u);
+    for (size_t i = 0; i < c.size(); ++i) {
+        EXPECT_TRUE(c.gate(i).isMeasure());
+        EXPECT_EQ(c.gate(i).q0, static_cast<QubitId>(i));
+    }
+}
+
+TEST(Circuit, NeedsAtLeastOneQubit)
+{
+    EXPECT_THROW(Circuit(0), ConfigError);
+    EXPECT_NO_THROW(Circuit(1));
+}
+
+TEST(Circuit, SetNameUpdates)
+{
+    Circuit c(1);
+    c.setName("renamed");
+    EXPECT_EQ(c.name(), "renamed");
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,143 @@
+/** @file Unit tests for the mutable device state. */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "common/error.hpp"
+#include "sim/device_state.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+class DeviceStateTest : public ::testing::Test
+{
+  protected:
+    DeviceStateTest() : topo_(makeLinear(3, 5)), state_(topo_, 6)
+    {
+        // Traps: [0,1,2] in trap 0, [3,4] in trap 1, [5] in trap 2.
+        state_.placeIon(0, 0, 0);
+        state_.placeIon(0, 1, 1);
+        state_.placeIon(0, 2, 2);
+        state_.placeIon(1, 3, 3);
+        state_.placeIon(1, 4, 4);
+        state_.placeIon(2, 5, 5);
+    }
+
+    Topology topo_;
+    DeviceState state_;
+};
+
+TEST_F(DeviceStateTest, InitialPlacement)
+{
+    EXPECT_EQ(state_.chain(0).size(), 3);
+    EXPECT_EQ(state_.chain(1).size(), 2);
+    EXPECT_EQ(state_.trapOf(4), 1);
+    EXPECT_EQ(state_.positionOf(1), 1);
+    EXPECT_EQ(state_.payloadOf(2), 2);
+    EXPECT_EQ(state_.ionOf(5), 5);
+    EXPECT_EQ(state_.freeSlots(0), 2);
+    EXPECT_EQ(state_.freeSlots(2), 4);
+}
+
+TEST_F(DeviceStateTest, SwapPayloads)
+{
+    state_.swapPayloads(0, 2);
+    EXPECT_EQ(state_.payloadOf(0), 2);
+    EXPECT_EQ(state_.payloadOf(2), 0);
+    EXPECT_EQ(state_.ionOf(0), 2);
+    EXPECT_EQ(state_.ionOf(2), 0);
+    // Physical positions unchanged.
+    EXPECT_EQ(state_.positionOf(0), 0);
+}
+
+TEST_F(DeviceStateTest, SwapTowardMovesPhysically)
+{
+    const IonId neighbour = state_.swapToward(0, ChainEnd::Right);
+    EXPECT_EQ(neighbour, 1);
+    EXPECT_EQ(state_.positionOf(0), 1);
+    EXPECT_EQ(state_.positionOf(1), 0);
+    EXPECT_THROW(state_.swapToward(1, ChainEnd::Left), InternalError);
+}
+
+TEST_F(DeviceStateTest, DetachAttachRoundTrip)
+{
+    state_.setEnergy(0, 3.0);
+    const IonId ion = state_.detachEnd(0, ChainEnd::Right, 1.25);
+    EXPECT_EQ(ion, 2);
+    EXPECT_EQ(state_.trapOf(ion), kInvalidId);
+    EXPECT_DOUBLE_EQ(state_.flightEnergy(ion), 1.25);
+    EXPECT_EQ(state_.chain(0).size(), 2);
+
+    state_.attachEnd(1, ChainEnd::Left, ion);
+    EXPECT_EQ(state_.trapOf(ion), 1);
+    EXPECT_EQ(state_.positionOf(ion), 0);
+    EXPECT_EQ(state_.chain(1).ions.front(), ion);
+}
+
+TEST_F(DeviceStateTest, DetachLeftTakesFront)
+{
+    const IonId ion = state_.detachEnd(0, ChainEnd::Left, 0.0);
+    EXPECT_EQ(ion, 0);
+    EXPECT_EQ(state_.chain(0).ions.front(), 1);
+}
+
+TEST_F(DeviceStateTest, PortEndsFollowNodeIdConvention)
+{
+    // Linear: edge 0 connects traps 0-1; edge 1 connects traps 1-2.
+    EXPECT_EQ(state_.portEnd(0, 0), ChainEnd::Right);
+    EXPECT_EQ(state_.portEnd(1, 0), ChainEnd::Left);
+    EXPECT_EQ(state_.portEnd(1, 1), ChainEnd::Right);
+    EXPECT_EQ(state_.portEnd(2, 1), ChainEnd::Left);
+}
+
+TEST_F(DeviceStateTest, GridPortsAreAllRight)
+{
+    const Topology grid = makeGrid(2, 3, 5);
+    DeviceState state(grid, 2);
+    state.placeIon(0, 0, 0);
+    state.placeIon(5, 1, 1);
+    // Junction node ids exceed all trap ids, so every port is right.
+    for (TrapId t = 0; t < grid.trapCount(); ++t)
+        for (EdgeId e : grid.incidentEdges(grid.trapNode(t)))
+            EXPECT_EQ(state.portEnd(t, e), ChainEnd::Right);
+}
+
+TEST_F(DeviceStateTest, EnergyTracksMaximum)
+{
+    state_.setEnergy(0, 2.0);
+    state_.setEnergy(1, 7.5);
+    state_.setEnergy(1, 1.0);
+    EXPECT_DOUBLE_EQ(state_.maxEnergySeen(), 7.5);
+    EXPECT_DOUBLE_EQ(state_.energy(1), 1.0);
+}
+
+TEST_F(DeviceStateTest, InvalidOperationsPanic)
+{
+    EXPECT_THROW(state_.positionOf(99), InternalError);
+    EXPECT_THROW(state_.flightEnergy(0), InternalError);
+    EXPECT_THROW(state_.setEnergy(0, -1.0), InternalError);
+    EXPECT_THROW(state_.junctionTimeline(topo_.trapNode(0)),
+                 InternalError);
+    // Attaching a trapped ion is a bug.
+    EXPECT_THROW(state_.attachEnd(1, ChainEnd::Left, 0), InternalError);
+}
+
+TEST_F(DeviceStateTest, TooManyIonsRejected)
+{
+    const Topology tiny = makeLinear(1, 2);
+    EXPECT_THROW(DeviceState(tiny, 3), ConfigError);
+}
+
+TEST(ResourceTimelineTest, AcquireSerializes)
+{
+    ResourceTimeline res;
+    EXPECT_DOUBLE_EQ(res.acquire(0, 10), 0);
+    EXPECT_DOUBLE_EQ(res.acquire(0, 5), 10);  // waits for free
+    EXPECT_DOUBLE_EQ(res.acquire(50, 5), 50); // idle gap allowed
+    EXPECT_DOUBLE_EQ(res.freeAt(), 55);
+}
+
+} // namespace
+} // namespace qccd

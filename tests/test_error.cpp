@@ -1,0 +1,42 @@
+/** @file Unit tests for the error hierarchy and check helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Error, FatalUnlessThrowsConfigError)
+{
+    EXPECT_NO_THROW(fatalUnless(true, "fine"));
+    EXPECT_THROW(fatalUnless(false, "bad config"), ConfigError);
+}
+
+TEST(Error, PanicUnlessThrowsInternalError)
+{
+    EXPECT_NO_THROW(panicUnless(true, "fine"));
+    EXPECT_THROW(panicUnless(false, "broken invariant"), InternalError);
+}
+
+TEST(Error, BothDeriveFromQccdError)
+{
+    try {
+        fatalUnless(false, "user mistake");
+        FAIL() << "expected a throw";
+    } catch (const QccdError &err) {
+        EXPECT_STREQ(err.what(), "user mistake");
+    }
+
+    try {
+        panicUnless(false, "bug");
+        FAIL() << "expected a throw";
+    } catch (const QccdError &err) {
+        EXPECT_STREQ(err.what(), "bug");
+    }
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,87 @@
+/** @file Tests for CSV/JSON sweep export. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/export.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+std::vector<SweepPoint>
+smallSweep()
+{
+    return sweepCapacity(
+        {"bv"}, {26, 30},
+        [](int cap) { return DesignPoint::linear(3, cap); });
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerPoint)
+{
+    const auto points = smallSweep();
+    const std::string csv = toCsv(points);
+    std::istringstream in(csv);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 1 + static_cast<int>(points.size()));
+    EXPECT_EQ(csv.rfind("application,topology,capacity", 0), 0u);
+    EXPECT_NE(csv.find("bv,linear:3,26,FM,GS,"), std::string::npos);
+}
+
+TEST(Export, CsvColumnCountConsistent)
+{
+    const std::string csv = toCsv(smallSweep());
+    std::istringstream in(csv);
+    std::string line;
+    int expected = -1;
+    while (std::getline(in, line)) {
+        const int commas = static_cast<int>(
+            std::count(line.begin(), line.end(), ','));
+        if (expected == -1)
+            expected = commas;
+        EXPECT_EQ(commas, expected) << line;
+    }
+    EXPECT_EQ(expected, 16); // 17 columns
+}
+
+TEST(Export, JsonIsWellFormedEnough)
+{
+    const std::string json = toJson(smallSweep());
+    // Structural sanity: array brackets, balanced braces, both rows.
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+    EXPECT_NE(json.find("\"application\": \"bv\""), std::string::npos);
+    EXPECT_NE(json.find("\"capacity\": 26"), std::string::npos);
+    EXPECT_NE(json.find("\"capacity\": 30"), std::string::npos);
+}
+
+TEST(Export, EmptySweepProducesHeaderOnly)
+{
+    const std::string csv = toCsv({});
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+    EXPECT_EQ(toJson({}), "[\n]\n");
+}
+
+TEST(Export, WriteTextFileRoundTrips)
+{
+    const std::string path = ::testing::TempDir() + "/qccd_export.csv";
+    writeTextFile("hello,world\n", path);
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "hello,world\n");
+    EXPECT_THROW(writeTextFile("x", "/nonexistent/dir/file.csv"),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,122 @@
+/** @file Tests for extension workloads and the balanced mapping policy. */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "benchgen/benchgen.hpp"
+#include "circuit/stats.hpp"
+#include "common/error.hpp"
+#include "compiler/mapping.hpp"
+#include "core/toolflow.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Extensions, GhzShape)
+{
+    const Circuit c = makeGhz(16);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 16);
+    EXPECT_EQ(s.twoQubitGates, 15);
+    EXPECT_EQ(s.maxInteractionDistance, 1);
+    EXPECT_EQ(s.measurements, 16);
+    // The ladder is strictly sequential: depth >= gate count.
+    EXPECT_GE(s.depth, 16);
+    EXPECT_THROW(makeGhz(1), ConfigError);
+}
+
+TEST(Extensions, VqeShape)
+{
+    const Circuit c = makeVqe(16, 3);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 16);
+    // Ladder (15 CX) + 3 strided ZZ pairs (2 CX each) per layer.
+    EXPECT_EQ(s.twoQubitGates, 3 * (15 + 3 * 2));
+    EXPECT_GT(s.maxInteractionDistance, 1);
+    EXPECT_THROW(makeVqe(1), ConfigError);
+    EXPECT_THROW(makeVqe(8, 0), ConfigError);
+}
+
+TEST(Extensions, VqeDeterministicPerSeed)
+{
+    const Circuit a = makeVqe(12, 2, 9);
+    const Circuit b = makeVqe(12, 2, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.gate(i).param, b.gate(i).param);
+}
+
+TEST(Extensions, RegistryBuildsPaperScaleExtensions)
+{
+    EXPECT_EQ(computeStats(makeBenchmark("ghz")).numQubits, 64);
+    EXPECT_EQ(computeStats(makeBenchmark("vqe")).numQubits, 64);
+    EXPECT_NO_THROW(makeBenchmarkSized("ghz", 10));
+    EXPECT_NO_THROW(makeBenchmarkSized("vqe", 10));
+}
+
+TEST(MappingPolicy, BalancedSpreadsEvenly)
+{
+    const Topology topo = makeLinear(4, 10);
+    Circuit c(16);
+    c.h(0);
+    const InitialMapping packed =
+        mapQubits(c, topo, 2, MappingPolicy::Packed);
+    const InitialMapping balanced =
+        mapQubits(c, topo, 2, MappingPolicy::Balanced);
+
+    // Packed: 8, 8, 0, 0. Balanced: 4, 4, 4, 4.
+    EXPECT_EQ(packed.chainOrder[0].size(), 8u);
+    EXPECT_EQ(packed.chainOrder[2].size(), 0u);
+    for (TrapId t = 0; t < 4; ++t)
+        EXPECT_EQ(balanced.chainOrder[t].size(), 4u);
+}
+
+TEST(MappingPolicy, BalancedRespectsCapacity)
+{
+    // 30 qubits over traps of capacity 8 with buffer 2: even share is
+    // 7.5, capacity clamp is 6 -> 6,6,6,6,6 across five traps.
+    const Topology topo = makeLinear(5, 8);
+    Circuit c(30);
+    c.h(0);
+    const InitialMapping m =
+        mapQubits(c, topo, 2, MappingPolicy::Balanced);
+    size_t placed = 0;
+    for (const auto &chain : m.chainOrder) {
+        EXPECT_LE(chain.size(), 6u);
+        placed += chain.size();
+    }
+    EXPECT_EQ(placed, 30u);
+}
+
+TEST(MappingPolicy, ToolflowAcceptsBothPolicies)
+{
+    const Circuit c = makeBenchmarkSized("qft", 16);
+    const DesignPoint dp = DesignPoint::linear(4, 8);
+    RunOptions packed;
+    RunOptions balanced;
+    balanced.mappingPolicy = MappingPolicy::Balanced;
+    const RunResult rp = runToolflow(c, dp, packed);
+    const RunResult rb = runToolflow(c, dp, balanced);
+    EXPECT_GT(rp.fidelity(), 0.0);
+    EXPECT_GT(rb.fidelity(), 0.0);
+    // Balanced shortens chains, so FM gates are faster per gate, but
+    // communication differs; both must still satisfy the invariants.
+    EXPECT_NE(rp.totalTime(), rb.totalTime());
+}
+
+TEST(MappingPolicy, BalancedKeepsFirstUseOrder)
+{
+    const Topology topo = makeLinear(2, 10);
+    Circuit c(8);
+    c.h(7); // qubit 7 used first
+    for (QubitId q = 0; q < 7; ++q)
+        c.h(q);
+    const InitialMapping m =
+        mapQubits(c, topo, 2, MappingPolicy::Balanced);
+    EXPECT_EQ(m.chainOrder[0].front(), 7);
+}
+
+} // namespace
+} // namespace qccd

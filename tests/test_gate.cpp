@@ -1,0 +1,98 @@
+/** @file Unit tests for the gate vocabulary. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/gate.hpp"
+#include "common/error.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Gate, ArityClassification)
+{
+    EXPECT_EQ(opArity(Op::H), 1);
+    EXPECT_EQ(opArity(Op::RZ), 1);
+    EXPECT_EQ(opArity(Op::Measure), 1);
+    EXPECT_EQ(opArity(Op::CX), 2);
+    EXPECT_EQ(opArity(Op::MS), 2);
+    EXPECT_EQ(opArity(Op::Barrier), 0);
+}
+
+TEST(Gate, TwoQubitClassification)
+{
+    EXPECT_TRUE(isTwoQubit(Op::CX));
+    EXPECT_TRUE(isTwoQubit(Op::CZ));
+    EXPECT_TRUE(isTwoQubit(Op::CPhase));
+    EXPECT_TRUE(isTwoQubit(Op::MS));
+    EXPECT_TRUE(isTwoQubit(Op::Swap));
+    EXPECT_FALSE(isTwoQubit(Op::H));
+    EXPECT_FALSE(isTwoQubit(Op::Measure));
+}
+
+TEST(Gate, NativeClassification)
+{
+    EXPECT_TRUE(isNative(Op::MS));
+    EXPECT_TRUE(isNative(Op::RZ));
+    EXPECT_TRUE(isNative(Op::H));
+    EXPECT_TRUE(isNative(Op::Measure));
+    EXPECT_FALSE(isNative(Op::CX));
+    EXPECT_FALSE(isNative(Op::Swap));
+    EXPECT_FALSE(isNative(Op::Barrier));
+}
+
+TEST(Gate, ParamClassification)
+{
+    EXPECT_TRUE(opHasParam(Op::RX));
+    EXPECT_TRUE(opHasParam(Op::CPhase));
+    EXPECT_TRUE(opHasParam(Op::MS));
+    EXPECT_FALSE(opHasParam(Op::H));
+    EXPECT_FALSE(opHasParam(Op::CX));
+}
+
+TEST(Gate, Constructors)
+{
+    const Gate h = Gate::one(Op::H, 3);
+    EXPECT_EQ(h.q0, 3);
+    EXPECT_TRUE(h.isOneQubit());
+    EXPECT_FALSE(h.isTwoQubit());
+
+    const Gate ms = Gate::two(Op::MS, 1, 4, 0.5);
+    EXPECT_EQ(ms.q0, 1);
+    EXPECT_EQ(ms.q1, 4);
+    EXPECT_DOUBLE_EQ(ms.param, 0.5);
+    EXPECT_TRUE(ms.isTwoQubit());
+
+    const Gate m = Gate::measure(2);
+    EXPECT_TRUE(m.isMeasure());
+    EXPECT_FALSE(m.isOneQubit());
+}
+
+TEST(Gate, BadConstructorsPanic)
+{
+    EXPECT_THROW(Gate::one(Op::CX, 0), InternalError);
+    EXPECT_THROW(Gate::one(Op::Measure, 0), InternalError);
+    EXPECT_THROW(Gate::two(Op::H, 0, 1), InternalError);
+    EXPECT_THROW(Gate::two(Op::MS, 2, 2), InternalError);
+}
+
+TEST(Gate, ToStringFormats)
+{
+    EXPECT_EQ(Gate::one(Op::H, 3).toString(), "h q3");
+    EXPECT_EQ(Gate::two(Op::CX, 0, 1).toString(), "cx q0, q1");
+    const std::string rz = Gate::one(Op::RZ, 2, 0.5).toString();
+    EXPECT_NE(rz.find("rz(0.5"), std::string::npos);
+}
+
+TEST(Gate, OpNamesAreLowercaseMnemonics)
+{
+    EXPECT_EQ(opName(Op::H), "h");
+    EXPECT_EQ(opName(Op::Sdg), "sdg");
+    EXPECT_EQ(opName(Op::CX), "cx");
+    EXPECT_EQ(opName(Op::MS), "ms");
+    EXPECT_EQ(opName(Op::Measure), "measure");
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,129 @@
+/** @file Unit + property tests for the MS gate duration models. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/gate_time.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(GateTime, Am1MatchesPaperFit)
+{
+    GateTimeModel model(GateImpl::AM1);
+    // tau(d) = 100*d - 22
+    EXPECT_DOUBLE_EQ(model.twoQubit(1, 10), 78.0);
+    EXPECT_DOUBLE_EQ(model.twoQubit(3, 10), 278.0);
+    EXPECT_DOUBLE_EQ(model.twoQubit(9, 10), 878.0);
+}
+
+TEST(GateTime, Am2MatchesPaperFit)
+{
+    GateTimeModel model(GateImpl::AM2);
+    // tau(d) = 38*d + 10
+    EXPECT_DOUBLE_EQ(model.twoQubit(1, 10), 48.0);
+    EXPECT_DOUBLE_EQ(model.twoQubit(5, 10), 200.0);
+}
+
+TEST(GateTime, PmMatchesPaperFit)
+{
+    GateTimeModel model(GateImpl::PM);
+    // tau(d) = 5*d + 160
+    EXPECT_DOUBLE_EQ(model.twoQubit(1, 10), 165.0);
+    EXPECT_DOUBLE_EQ(model.twoQubit(8, 10), 200.0);
+}
+
+TEST(GateTime, FmMatchesPaperFit)
+{
+    GateTimeModel model(GateImpl::FM);
+    // tau(N) = max(13.33*N - 54, 100): constant 100 below ~12 ions.
+    EXPECT_DOUBLE_EQ(model.twoQubit(1, 5), 100.0);
+    EXPECT_DOUBLE_EQ(model.twoQubit(3, 11), 100.0);
+    EXPECT_NEAR(model.twoQubit(1, 20), 13.33 * 20 - 54, 1e-9);
+    EXPECT_NEAR(model.twoQubit(7, 30), 13.33 * 30 - 54, 1e-9);
+}
+
+TEST(GateTime, FmIgnoresSeparation)
+{
+    GateTimeModel model(GateImpl::FM);
+    for (int d = 1; d < 20; ++d)
+        EXPECT_DOUBLE_EQ(model.twoQubit(d, 20), model.twoQubit(1, 20));
+}
+
+TEST(GateTime, AmPmIgnoreChainLength)
+{
+    for (GateImpl impl : {GateImpl::AM1, GateImpl::AM2, GateImpl::PM}) {
+        GateTimeModel model(impl);
+        for (int n = 4; n <= 30; n += 2)
+            EXPECT_DOUBLE_EQ(model.twoQubit(3, n), model.twoQubit(3, 4))
+                << gateImplName(impl);
+    }
+}
+
+TEST(GateTime, InvalidGeometryPanics)
+{
+    GateTimeModel model(GateImpl::FM);
+    EXPECT_THROW(model.twoQubit(0, 5), InternalError);
+    EXPECT_THROW(model.twoQubit(1, 1), InternalError);
+    EXPECT_THROW(model.twoQubit(5, 5), InternalError);
+}
+
+TEST(GateTime, NamesRoundTrip)
+{
+    for (GateImpl impl : {GateImpl::AM1, GateImpl::AM2, GateImpl::PM,
+                          GateImpl::FM})
+        EXPECT_EQ(gateImplFromName(gateImplName(impl)), impl);
+    EXPECT_THROW(gateImplFromName("??"), ConfigError);
+}
+
+TEST(GateTime, BadConstructionRejected)
+{
+    EXPECT_THROW(GateTimeModel(GateImpl::FM, -1.0), ConfigError);
+    EXPECT_THROW(GateTimeModel(GateImpl::FM, 5.0, 0.0), ConfigError);
+    EXPECT_THROW(GateTimeModel(GateImpl::FM, 5.0, 150.0, -2.0),
+                 ConfigError);
+}
+
+/** Property sweep: durations are positive and monotone in distance. */
+class GateTimeProperty : public ::testing::TestWithParam<GateImpl>
+{
+};
+
+TEST_P(GateTimeProperty, PositiveAndMonotone)
+{
+    GateTimeModel model(GetParam());
+    for (int n = 4; n <= 34; n += 3) {
+        double prev = 0;
+        for (int d = 1; d < n; ++d) {
+            const double tau = model.twoQubit(d, n);
+            EXPECT_GT(tau, 0) << gateImplName(GetParam());
+            EXPECT_GE(tau, prev) << gateImplName(GetParam());
+            prev = tau;
+        }
+    }
+}
+
+TEST_P(GateTimeProperty, MonotoneInChainLengthForFm)
+{
+    GateTimeModel model(GetParam());
+    double prev = 0;
+    for (int n = 4; n <= 34; ++n) {
+        const double tau = model.twoQubit(1, n);
+        if (GetParam() == GateImpl::FM)
+            EXPECT_GE(tau, prev);
+        prev = tau;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImpls, GateTimeProperty,
+    ::testing::Values(GateImpl::AM1, GateImpl::AM2, GateImpl::PM,
+                      GateImpl::FM),
+    [](const ::testing::TestParamInfo<GateImpl> &info) {
+        return gateImplName(info.param);
+    });
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,105 @@
+/** @file Tests for the QCCD instruction-set serialization. */
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "common/error.hpp"
+#include "core/toolflow.hpp"
+#include "sim/isa.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+/** Field-wise trace equality. */
+void
+expectSameTrace(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kind, b[i].kind) << "op " << i;
+        EXPECT_DOUBLE_EQ(a[i].start, b[i].start) << "op " << i;
+        EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration) << "op " << i;
+        EXPECT_EQ(a[i].trap, b[i].trap) << "op " << i;
+        EXPECT_EQ(a[i].edge, b[i].edge) << "op " << i;
+        EXPECT_EQ(a[i].junction, b[i].junction) << "op " << i;
+        EXPECT_EQ(a[i].ion, b[i].ion) << "op " << i;
+        EXPECT_EQ(a[i].q0, b[i].q0) << "op " << i;
+        EXPECT_EQ(a[i].q1, b[i].q1) << "op " << i;
+        EXPECT_EQ(a[i].separation, b[i].separation) << "op " << i;
+        EXPECT_EQ(a[i].chainLength, b[i].chainLength) << "op " << i;
+        EXPECT_DOUBLE_EQ(a[i].nbar, b[i].nbar) << "op " << i;
+        EXPECT_DOUBLE_EQ(a[i].fidelity, b[i].fidelity) << "op " << i;
+        EXPECT_EQ(a[i].forCommunication, b[i].forCommunication)
+            << "op " << i;
+    }
+}
+
+TEST(Isa, EmptyTraceRoundTrips)
+{
+    const Trace empty;
+    expectSameTrace(parseIsa(writeIsa(empty)), empty);
+}
+
+TEST(Isa, HandWrittenOpRoundTrips)
+{
+    PrimOp op;
+    op.kind = PrimKind::GateMS;
+    op.start = 123.5;
+    op.duration = 100;
+    op.trap = 2;
+    op.q0 = 5;
+    op.q1 = 9;
+    op.separation = 3;
+    op.chainLength = 12;
+    op.nbar = 1.75;
+    op.fidelity = 0.9975;
+    op.forCommunication = true;
+    expectSameTrace(parseIsa(writeIsa({op})), {op});
+}
+
+TEST(Isa, CompiledProgramRoundTrips)
+{
+    const Circuit c = makeBenchmarkSized("squareroot", 20);
+    const ScheduleResult r =
+        runToolflowDetailed(c, DesignPoint::linear(3, 10));
+    ASSERT_GT(r.trace.size(), 100u);
+    const std::string text = writeIsa(r.trace);
+    expectSameTrace(parseIsa(text), r.trace);
+}
+
+TEST(Isa, CommentsAndBlankLinesIgnored)
+{
+    const Trace t = parseIsa(
+        "# header comment\n"
+        "\n"
+        "0 5 1q trap=0 q0=1 fid=0.99 # trailing comment\n");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].kind, PrimKind::Gate1Q);
+    EXPECT_EQ(t[0].q0, 1);
+    EXPECT_DOUBLE_EQ(t[0].fidelity, 0.99);
+}
+
+TEST(Isa, MalformedInputRejected)
+{
+    EXPECT_THROW(parseIsa("0 5 frobnicate trap=0\n"), ConfigError);
+    EXPECT_THROW(parseIsa("0 5 1q trap\n"), ConfigError);
+    EXPECT_THROW(parseIsa("0 5 1q bogus=3\n"), ConfigError);
+    EXPECT_THROW(parseIsa("0 5 1q trap=abc\n"), ConfigError);
+    EXPECT_THROW(parseIsa("garbage line\n"), ConfigError);
+}
+
+TEST(Isa, FileRoundTrip)
+{
+    const Circuit c = makeBenchmarkSized("bv", 10);
+    const ScheduleResult r =
+        runToolflowDetailed(c, DesignPoint::linear(2, 8));
+    const std::string path = ::testing::TempDir() + "/qccd_isa_test.txt";
+    writeIsaFile(r.trace, path);
+    expectSameTrace(parseIsaFile(path), r.trace);
+    EXPECT_THROW(parseIsaFile("/nonexistent/isa.txt"), ConfigError);
+}
+
+} // namespace
+} // namespace qccd

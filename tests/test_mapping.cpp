@@ -1,0 +1,109 @@
+/** @file Unit tests for the greedy first-use initial mapping. */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "benchgen/benchgen.hpp"
+#include "common/error.hpp"
+#include "compiler/mapping.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Mapping, FirstUseOrderFollowsGateSequence)
+{
+    Circuit c(4);
+    c.h(2);
+    c.cx(2, 0);
+    c.h(3);
+    c.h(1);
+    const auto order = firstUseOrder(c);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 2);
+    EXPECT_EQ(order[1], 0);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_EQ(order[3], 1);
+}
+
+TEST(Mapping, UnusedQubitsComeLastInIndexOrder)
+{
+    Circuit c(4);
+    c.h(3);
+    const auto order = firstUseOrder(c);
+    EXPECT_EQ(order[0], 3);
+    EXPECT_EQ(order[1], 0);
+    EXPECT_EQ(order[2], 1);
+    EXPECT_EQ(order[3], 2);
+}
+
+TEST(Mapping, PacksWithBufferSlots)
+{
+    const Topology topo = makeLinear(3, 6);
+    Circuit c(10);
+    for (QubitId q = 0; q + 1 < 10; ++q)
+        c.cx(q, q + 1);
+    const InitialMapping m = mapQubits(c, topo, 2);
+    EXPECT_EQ(m.effectiveBuffer, 2);
+    // 6-2 = 4 per trap: [0..3], [4..7], [8..9].
+    EXPECT_EQ(m.chainOrder[0].size(), 4u);
+    EXPECT_EQ(m.chainOrder[1].size(), 4u);
+    EXPECT_EQ(m.chainOrder[2].size(), 2u);
+    for (QubitId q = 0; q < 10; ++q)
+        EXPECT_EQ(m.trapOf[q], q / 4);
+}
+
+TEST(Mapping, BufferShrinksWhenTight)
+{
+    // 16 qubits on 3 traps of 6 = 18 capacity: buffer 2 leaves only 12
+    // usable slots, so the mapper must shrink the buffer to 0.
+    const Topology topo = makeLinear(3, 6);
+    Circuit c(16);
+    c.h(0);
+    const InitialMapping m = mapQubits(c, topo, 2);
+    EXPECT_EQ(m.effectiveBuffer, 0);
+    size_t placed = 0;
+    for (const auto &chain : m.chainOrder)
+        placed += chain.size();
+    EXPECT_EQ(placed, 16u);
+}
+
+TEST(Mapping, PaperCaseSquareRootAtCapacity14)
+{
+    // 78 qubits on six 14-ion traps: only one buffer slot fits.
+    const Topology topo = makeLinear(6, 14);
+    const Circuit c = makeBenchmark("squareroot");
+    const InitialMapping m = mapQubits(c, topo, 2);
+    EXPECT_EQ(m.effectiveBuffer, 1);
+}
+
+TEST(Mapping, TooManyQubitsRejected)
+{
+    const Topology topo = makeLinear(2, 4);
+    Circuit c(9);
+    c.h(0);
+    EXPECT_THROW(mapQubits(c, topo, 2), ConfigError);
+}
+
+TEST(Mapping, NegativeBufferRejected)
+{
+    const Topology topo = makeLinear(2, 4);
+    Circuit c(2);
+    EXPECT_THROW(mapQubits(c, topo, -1), ConfigError);
+}
+
+TEST(Mapping, CoLocatesEarlyInteractingQubits)
+{
+    // QAOA's line interaction should co-locate consecutive qubits.
+    const Topology topo = makeLinear(4, 10);
+    const Circuit c = makeQaoa(24, 2);
+    const InitialMapping m = mapQubits(c, topo, 2);
+    for (QubitId q = 0; q + 1 < 24; ++q) {
+        const int trap_gap = std::abs(m.trapOf[q] - m.trapOf[q + 1]);
+        EXPECT_LE(trap_gap, 1) << "qubit " << q;
+    }
+}
+
+} // namespace
+} // namespace qccd

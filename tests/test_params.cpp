@@ -1,0 +1,69 @@
+/** @file Unit tests for HardwareParams aggregation and validation. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/params.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Params, DefaultsValidate)
+{
+    HardwareParams hw;
+    EXPECT_NO_THROW(hw.validate());
+    EXPECT_EQ(hw.gateImpl, GateImpl::FM);
+    EXPECT_EQ(hw.reorder, ReorderMethod::GS);
+    EXPECT_EQ(hw.bufferSlots, 2);
+}
+
+TEST(Params, ModelsInheritConstants)
+{
+    HardwareParams hw;
+    hw.gateImpl = GateImpl::AM2;
+    hw.oneQubitUs = 7.0;
+    hw.heatingK1 = 0.2;
+    hw.gammaPerS = 3.0;
+
+    EXPECT_EQ(hw.gateTimeModel().impl(), GateImpl::AM2);
+    EXPECT_DOUBLE_EQ(hw.gateTimeModel().oneQubit(), 7.0);
+    EXPECT_DOUBLE_EQ(hw.heatingModel().k1(), 0.2);
+    EXPECT_DOUBLE_EQ(hw.fidelityModel().gammaPerSecond(), 3.0);
+}
+
+TEST(Params, InvalidValuesRejected)
+{
+    HardwareParams hw;
+    hw.bufferSlots = -1;
+    EXPECT_THROW(hw.validate(), ConfigError);
+
+    hw = HardwareParams{};
+    hw.recoolFactor = 0.0;
+    EXPECT_THROW(hw.validate(), ConfigError);
+
+    hw = HardwareParams{};
+    hw.recoolFactor = 1.5;
+    EXPECT_THROW(hw.validate(), ConfigError);
+
+    hw = HardwareParams{};
+    hw.shuttle.merge = -5;
+    EXPECT_THROW(hw.validate(), ConfigError);
+
+    hw = HardwareParams{};
+    hw.kappa = -1;
+    EXPECT_THROW(hw.validate(), ConfigError);
+}
+
+TEST(Params, ReorderNamesRoundTrip)
+{
+    EXPECT_EQ(reorderMethodFromName("GS"), ReorderMethod::GS);
+    EXPECT_EQ(reorderMethodFromName("IS"), ReorderMethod::IS);
+    EXPECT_EQ(reorderMethodName(ReorderMethod::GS), "GS");
+    EXPECT_EQ(reorderMethodName(ReorderMethod::IS), "IS");
+    EXPECT_THROW(reorderMethodFromName("XX"), ConfigError);
+}
+
+} // namespace
+} // namespace qccd

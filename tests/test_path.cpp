@@ -1,0 +1,147 @@
+/** @file Unit + property tests for shortest-path shuttle routing. */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "arch/path.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Path, AdjacentLinearTrapsIsOneEdge)
+{
+    const Topology topo = makeLinear(6, 20);
+    const PathFinder finder(topo, PathCost{});
+    const Path &p = finder.path(0, 1);
+    ASSERT_EQ(p.steps.size(), 1u);
+    EXPECT_EQ(p.steps[0].kind, PathStep::Kind::Edge);
+    EXPECT_EQ(p.throughTrapCount(), 0);
+    EXPECT_EQ(p.junctionCount(), 0);
+    EXPECT_DOUBLE_EQ(p.cost, 5.0);
+}
+
+TEST(Path, DistantLinearTrapsPassThroughIntermediates)
+{
+    const Topology topo = makeLinear(6, 20);
+    const PathFinder finder(topo, PathCost{});
+    const Path &p = finder.path(0, 5);
+    // Fig. 4: every intermediate trap costs a merge/reorder/split.
+    EXPECT_EQ(p.throughTrapCount(), 4);
+    EXPECT_EQ(p.segmentCount(topo), 5);
+    EXPECT_EQ(p.junctionCount(), 0);
+    EXPECT_DOUBLE_EQ(p.cost, 5 * 5.0 + 4 * PathCost{}.trapPassThrough);
+}
+
+TEST(Path, GridAvoidsTrapPassThroughs)
+{
+    const Topology topo = makeGrid(2, 3, 20);
+    const PathFinder finder(topo, PathCost{});
+    for (TrapId a = 0; a < topo.trapCount(); ++a) {
+        for (TrapId b = 0; b < topo.trapCount(); ++b) {
+            if (a == b)
+                continue;
+            EXPECT_EQ(finder.path(a, b).throughTrapCount(), 0)
+                << "path " << a << " -> " << b;
+        }
+    }
+}
+
+TEST(Path, GridSameColumnUsesOneJunction)
+{
+    // Trap layout: row-major, so traps 0 and 3 share column 0.
+    const Topology topo = makeGrid(2, 3, 20);
+    const PathFinder finder(topo, PathCost{});
+    const Path &p = finder.path(0, 3);
+    EXPECT_EQ(p.junctionCount(), 1);
+    EXPECT_EQ(p.segmentCount(topo), 2);
+}
+
+TEST(Path, GridCrossColumnCrossesRail)
+{
+    const Topology topo = makeGrid(2, 3, 20);
+    const PathFinder finder(topo, PathCost{});
+    // Trap 0 (row 0, col 0) to trap 5 (row 1, col 2): 3 junctions.
+    const Path &p = finder.path(0, 5);
+    EXPECT_EQ(p.junctionCount(), 3);
+    EXPECT_EQ(p.segmentCount(topo), 4);
+}
+
+TEST(Path, SelfPathIsEmpty)
+{
+    const Topology topo = makeLinear(4, 20);
+    const PathFinder finder(topo, PathCost{});
+    EXPECT_TRUE(finder.path(2, 2).steps.empty());
+    EXPECT_DOUBLE_EQ(finder.cost(2, 2), 0.0);
+}
+
+/** Property sweep over topologies: costs are symmetric and positive. */
+class PathProperty : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PathProperty, CostsSymmetricAndPositive)
+{
+    const Topology topo = makeFromSpec(GetParam(), 20);
+    const PathFinder finder(topo, PathCost{});
+    for (TrapId a = 0; a < topo.trapCount(); ++a) {
+        for (TrapId b = 0; b < topo.trapCount(); ++b) {
+            if (a == b)
+                continue;
+            EXPECT_GT(finder.cost(a, b), 0.0);
+            EXPECT_DOUBLE_EQ(finder.cost(a, b), finder.cost(b, a))
+                << GetParam() << " " << a << "<->" << b;
+        }
+    }
+}
+
+TEST_P(PathProperty, PathsStartAndEndWithEdges)
+{
+    const Topology topo = makeFromSpec(GetParam(), 20);
+    const PathFinder finder(topo, PathCost{});
+    for (TrapId a = 0; a < topo.trapCount(); ++a) {
+        for (TrapId b = 0; b < topo.trapCount(); ++b) {
+            if (a == b)
+                continue;
+            const Path &p = finder.path(a, b);
+            ASSERT_FALSE(p.steps.empty());
+            EXPECT_EQ(p.steps.front().kind, PathStep::Kind::Edge);
+            EXPECT_EQ(p.steps.back().kind, PathStep::Kind::Edge);
+        }
+    }
+}
+
+TEST_P(PathProperty, TriangleInequalityOnCosts)
+{
+    const Topology topo = makeFromSpec(GetParam(), 20);
+    const PathFinder finder(topo, PathCost{});
+    for (TrapId a = 0; a < topo.trapCount(); ++a)
+        for (TrapId b = 0; b < topo.trapCount(); ++b)
+            for (TrapId c = 0; c < topo.trapCount(); ++c) {
+                // Going via c can never beat the direct shortest path
+                // by more than c's own pass-through handling; the
+                // direct cost must not exceed the sum of the two legs.
+                if (a == b || b == c || a == c)
+                    continue;
+                EXPECT_LE(finder.cost(a, b) - 1e-9,
+                          finder.cost(a, c) + PathCost{}.trapPassThrough +
+                              finder.cost(c, b))
+                    << GetParam();
+            }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, PathProperty,
+                         ::testing::Values("linear:2", "linear:6",
+                                           "grid:2x2", "grid:2x3",
+                                           "grid:3x3", "grid:2x5"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == ':' || c == 'x')
+                                     c = '_';
+                             return name;
+                         });
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,105 @@
+/** @file Unit tests for the OpenQASM tokenizer. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/qasm/lexer.hpp"
+#include "common/error.hpp"
+
+namespace qccd::qasm
+{
+namespace
+{
+
+TEST(QasmLexer, TokenizesHeader)
+{
+    const auto tokens = tokenize("OPENQASM 2.0;");
+    ASSERT_EQ(tokens.size(), 4u); // keyword, real, semicolon, eof
+    EXPECT_EQ(tokens[0].kind, TokenKind::Keyword);
+    EXPECT_EQ(tokens[0].text, "OPENQASM");
+    EXPECT_EQ(tokens[1].kind, TokenKind::Real);
+    EXPECT_DOUBLE_EQ(tokens[1].numValue, 2.0);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Semicolon);
+    EXPECT_EQ(tokens[3].kind, TokenKind::EndOfFile);
+}
+
+TEST(QasmLexer, IdentifiersVsKeywords)
+{
+    const auto tokens = tokenize("qreg myname cx");
+    EXPECT_EQ(tokens[0].kind, TokenKind::Keyword);
+    EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Identifier); // cx is a gate name
+}
+
+TEST(QasmLexer, NumbersIntegerAndReal)
+{
+    const auto tokens = tokenize("42 3.5 1e-3 .25");
+    EXPECT_EQ(tokens[0].kind, TokenKind::Integer);
+    EXPECT_DOUBLE_EQ(tokens[0].numValue, 42);
+    EXPECT_EQ(tokens[1].kind, TokenKind::Real);
+    EXPECT_DOUBLE_EQ(tokens[1].numValue, 3.5);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Real);
+    EXPECT_DOUBLE_EQ(tokens[2].numValue, 1e-3);
+    EXPECT_EQ(tokens[3].kind, TokenKind::Real);
+    EXPECT_DOUBLE_EQ(tokens[3].numValue, 0.25);
+}
+
+TEST(QasmLexer, PiToken)
+{
+    const auto tokens = tokenize("rz(pi/2)");
+    ASSERT_GE(tokens.size(), 5u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Pi);
+}
+
+TEST(QasmLexer, CommentsSkipped)
+{
+    const auto tokens = tokenize("h q; // comment to end\nx q;");
+    // h q ; x q ; eof
+    EXPECT_EQ(tokens.size(), 7u);
+}
+
+TEST(QasmLexer, ArrowToken)
+{
+    const auto tokens = tokenize("measure q -> c;");
+    EXPECT_EQ(tokens[2].kind, TokenKind::Arrow);
+}
+
+TEST(QasmLexer, StringLiteral)
+{
+    const auto tokens = tokenize("include \"qelib1.inc\";");
+    EXPECT_EQ(tokens[1].kind, TokenKind::StringLit);
+    EXPECT_EQ(tokens[1].text, "qelib1.inc");
+}
+
+TEST(QasmLexer, TracksLineNumbers)
+{
+    const auto tokens = tokenize("h q;\nx q;\n\ny q;");
+    // Find the 'y' token and check its line.
+    bool found = false;
+    for (const Token &t : tokens) {
+        if (t.kind == TokenKind::Identifier && t.text == "y") {
+            EXPECT_EQ(t.line, 4);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(QasmLexer, IllegalCharacterThrows)
+{
+    EXPECT_THROW(tokenize("h q; @"), ConfigError);
+}
+
+TEST(QasmLexer, UnterminatedStringThrows)
+{
+    EXPECT_THROW(tokenize("include \"oops"), ConfigError);
+}
+
+TEST(QasmLexer, EmptyInputYieldsEof)
+{
+    const auto tokens = tokenize("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::EndOfFile);
+}
+
+} // namespace
+} // namespace qccd::qasm

@@ -1,0 +1,163 @@
+/** @file Unit tests for the OpenQASM 2.0 parser. */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/qasm/parser.hpp"
+#include "circuit/stats.hpp"
+#include "common/error.hpp"
+
+namespace qccd::qasm
+{
+namespace
+{
+
+constexpr const char *kBell = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+)";
+
+TEST(QasmParser, ParsesBellPair)
+{
+    const Circuit c = parse(kBell, "bell");
+    EXPECT_EQ(c.numQubits(), 2);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.gate(0).op, Op::H);
+    EXPECT_EQ(c.gate(1).op, Op::CX);
+    EXPECT_EQ(c.gate(2).op, Op::Measure);
+    EXPECT_EQ(c.name(), "bell");
+}
+
+TEST(QasmParser, AngleExpressions)
+{
+    const Circuit c = parse(
+        "qreg q[1]; rz(pi/2) q[0]; rx(-pi) q[0]; ry(2*pi/4+1) q[0];"
+        " rz((1+2)*3) q[0];");
+    constexpr double pi = std::numbers::pi;
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_DOUBLE_EQ(c.gate(0).param, pi / 2);
+    EXPECT_DOUBLE_EQ(c.gate(1).param, -pi);
+    EXPECT_DOUBLE_EQ(c.gate(2).param, pi / 2 + 1);
+    EXPECT_DOUBLE_EQ(c.gate(3).param, 9.0);
+}
+
+TEST(QasmParser, MultipleRegistersConcatenate)
+{
+    const Circuit c = parse("qreg a[2]; qreg b[3]; cx a[1], b[0];");
+    EXPECT_EQ(c.numQubits(), 5);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gate(0).q0, 1);
+    EXPECT_EQ(c.gate(0).q1, 2); // b[0] is global qubit 2
+}
+
+TEST(QasmParser, RegisterBroadcast)
+{
+    const Circuit c = parse("qreg q[3]; h q;");
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(QasmParser, BroadcastTwoQubit)
+{
+    const Circuit c = parse("qreg a[3]; qreg b[3]; cx a, b;");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gate(1).q0, 1);
+    EXPECT_EQ(c.gate(1).q1, 4);
+}
+
+TEST(QasmParser, MeasureWholeRegister)
+{
+    const Circuit c = parse("qreg q[3]; creg c[3]; measure q -> c;");
+    EXPECT_EQ(computeStats(c).measurements, 3);
+}
+
+TEST(QasmParser, UserDefinedGateInlined)
+{
+    const Circuit c = parse(R"(
+qreg q[2];
+gate mybell a, b { h a; cx a, b; }
+mybell q[0], q[1];
+mybell q[1], q[0];
+)");
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.gate(0).op, Op::H);
+    EXPECT_EQ(c.gate(1).op, Op::CX);
+    EXPECT_EQ(c.gate(2).q0, 1);
+    EXPECT_EQ(c.gate(3).q1, 0);
+}
+
+TEST(QasmParser, NestedUserGates)
+{
+    const Circuit c = parse(R"(
+qreg q[2];
+gate inner a { h a; }
+gate outer a, b { inner a; cx a, b; inner b; }
+outer q[0], q[1];
+)");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gate(0).op, Op::H);
+    EXPECT_EQ(c.gate(2).q0, 1);
+}
+
+TEST(QasmParser, RzzMapsToCPhase)
+{
+    const Circuit c = parse("qreg q[2]; rzz(0.25) q[0], q[1];");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gate(0).op, Op::CPhase);
+    EXPECT_DOUBLE_EQ(c.gate(0).param, 0.5);
+}
+
+TEST(QasmParser, RxxMapsToMs)
+{
+    const Circuit c = parse("qreg q[2]; rxx(0.5) q[0], q[1];");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gate(0).op, Op::MS);
+}
+
+TEST(QasmParser, BarrierKept)
+{
+    const Circuit c = parse("qreg q[2]; h q[0]; barrier q; x q[1];");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gate(1).op, Op::Barrier);
+}
+
+TEST(QasmParser, OpaqueAndResetSkipped)
+{
+    const Circuit c = parse(
+        "qreg q[1]; opaque magic a; reset q[0]; x q[0];");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gate(0).op, Op::X);
+}
+
+TEST(QasmParser, Errors)
+{
+    EXPECT_THROW(parse("qreg q[2]; bogus q[0];"), ConfigError);
+    EXPECT_THROW(parse("qreg q[2]; h q[5];"), ConfigError);
+    EXPECT_THROW(parse("qreg q[2]; h r[0];"), ConfigError);
+    EXPECT_THROW(parse("qreg q[0];"), ConfigError);
+    EXPECT_THROW(parse("qreg q[2]; qreg q[2];"), ConfigError);
+    EXPECT_THROW(parse("qreg q[2]; cx q[0];"), ConfigError);
+    EXPECT_THROW(parse("qreg q[2]; rz() q[0];"), ConfigError);
+    EXPECT_THROW(parse("qreg q[2]; rz(1/0) q[0];"), ConfigError);
+    EXPECT_THROW(parse("h q[0];"), ConfigError); // gate before qreg
+    EXPECT_THROW(parse("qreg q[2]; if (c == 0) x q[0];"), ConfigError);
+}
+
+TEST(QasmParser, QregAfterGatesRejected)
+{
+    EXPECT_THROW(parse("qreg q[1]; x q[0]; qreg r[1];"), ConfigError);
+}
+
+TEST(QasmParser, MissingFileThrows)
+{
+    EXPECT_THROW(parseFile("/nonexistent/file.qasm"), ConfigError);
+}
+
+} // namespace
+} // namespace qccd::qasm

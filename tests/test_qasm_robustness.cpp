@@ -1,0 +1,96 @@
+/** @file Robustness tests for the OpenQASM frontend: truncated inputs,
+ *  deep nesting, unusual-but-legal formatting. The parser must reject
+ *  bad input with ConfigError and never crash. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/qasm/parser.hpp"
+#include "circuit/qasm/writer.hpp"
+#include "common/error.hpp"
+
+namespace qccd::qasm
+{
+namespace
+{
+
+TEST(QasmRobustness, TruncatedPrefixesNeverCrash)
+{
+    const std::string program =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\n"
+        "gate gg a, b { h a; cx a, b; }\ngg q[0], q[1];\n"
+        "rz(pi/4) q[2];\nmeasure q[0] -> c[0];\n";
+    for (size_t len = 0; len <= program.size(); ++len) {
+        const std::string prefix = program.substr(0, len);
+        try {
+            parse(prefix);
+        } catch (const ConfigError &) {
+            // Rejection is fine; crashes or other exception types are
+            // not.
+        }
+    }
+}
+
+TEST(QasmRobustness, WeirdWhitespaceAccepted)
+{
+    const Circuit c = parse(
+        "OPENQASM\t2.0 ;\n\n\nqreg\nq[2];h q[0]\n;cx q[0],\nq[1];");
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(QasmRobustness, CommentsEverywhere)
+{
+    const Circuit c = parse(
+        "// leading\nqreg q[2]; // decl\n// between\nh q[0]; // gate\n");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmRobustness, DeeplyNestedAngleParens)
+{
+    std::string expr = "1.0";
+    for (int i = 0; i < 40; ++i)
+        expr = "(" + expr + "+0)";
+    const Circuit c = parse("qreg q[1]; rz(" + expr + ") q[0];");
+    EXPECT_DOUBLE_EQ(c.gate(0).param, 1.0);
+}
+
+TEST(QasmRobustness, ManyNestedUserGates)
+{
+    std::string program = "qreg q[2];\ngate g0 a, b { cx a, b; }\n";
+    for (int i = 1; i < 20; ++i) {
+        program += "gate g" + std::to_string(i) + " a, b { g" +
+                   std::to_string(i - 1) + " a, b; g" +
+                   std::to_string(i - 1) + " b, a; }\n";
+    }
+    program += "g5 q[0], q[1];\n";
+    const Circuit c = parse(program);
+    EXPECT_EQ(c.size(), 32u); // 2^5 inlined CX gates
+}
+
+TEST(QasmRobustness, HugeRegisterIndexRejected)
+{
+    EXPECT_THROW(parse("qreg q[4]; h q[4];"), ConfigError);
+    EXPECT_THROW(parse("qreg q[4]; h q[-1];"), ConfigError);
+}
+
+TEST(QasmRobustness, SelfInteractingGateRejected)
+{
+    EXPECT_THROW(parse("qreg q[2]; cx q[1], q[1];"), ConfigError);
+}
+
+TEST(QasmRobustness, LargeGeneratedProgramsRoundTrip)
+{
+    // A 4000-gate program through write -> parse -> write must be
+    // byte-identical on the second pass (writer output is canonical).
+    Circuit big(32, "big");
+    for (int rep = 0; rep < 500; ++rep) {
+        big.h(rep % 32);
+        big.cx(rep % 32, (rep + 7) % 32);
+        big.rz((rep * 13) % 32, 0.001 * rep);
+    }
+    const std::string once = write(big);
+    const std::string twice = write(parse(once, big.name()));
+    EXPECT_EQ(once, twice);
+}
+
+} // namespace
+} // namespace qccd::qasm

@@ -1,0 +1,84 @@
+/** @file Round-trip property tests: write(parse(x)) preserves the IR. */
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/qasm/parser.hpp"
+#include "circuit/qasm/writer.hpp"
+#include "circuit/stats.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+/** Equality on everything the simulator consumes. */
+void
+expectEquivalent(const Circuit &a, const Circuit &b)
+{
+    ASSERT_EQ(a.numQubits(), b.numQubits());
+    // Barriers may be dropped/normalized; compare non-barrier streams.
+    std::vector<Gate> ga;
+    std::vector<Gate> gb;
+    for (const Gate &g : a.gates())
+        if (g.op != Op::Barrier)
+            ga.push_back(g);
+    for (const Gate &g : b.gates())
+        if (g.op != Op::Barrier)
+            gb.push_back(g);
+    ASSERT_EQ(ga.size(), gb.size());
+    for (size_t i = 0; i < ga.size(); ++i) {
+        EXPECT_EQ(ga[i].op, gb[i].op) << "gate " << i;
+        EXPECT_EQ(ga[i].q0, gb[i].q0) << "gate " << i;
+        EXPECT_EQ(ga[i].q1, gb[i].q1) << "gate " << i;
+        EXPECT_NEAR(ga[i].param, gb[i].param, 1e-12) << "gate " << i;
+    }
+}
+
+class QasmRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(QasmRoundTrip, WriteParsePreservesCircuit)
+{
+    const Circuit original = makeBenchmarkSized(GetParam(), 10);
+    const std::string text = qasm::write(original);
+    const Circuit reparsed = qasm::parse(text, original.name());
+    expectEquivalent(original, reparsed);
+}
+
+TEST_P(QasmRoundTrip, StatsSurviveRoundTrip)
+{
+    const Circuit original = makeBenchmarkSized(GetParam(), 12);
+    const Circuit reparsed = qasm::parse(qasm::write(original));
+    const CircuitStats sa = computeStats(original);
+    const CircuitStats sb = computeStats(reparsed);
+    EXPECT_EQ(sa.twoQubitGates, sb.twoQubitGates);
+    EXPECT_EQ(sa.oneQubitGates, sb.oneQubitGates);
+    EXPECT_EQ(sa.measurements, sb.measurements);
+    EXPECT_EQ(sa.depth, sb.depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, QasmRoundTrip,
+                         ::testing::Values("qft", "bv", "adder", "qaoa",
+                                           "supremacy", "squareroot"));
+
+TEST(QasmRoundTrip, HandwrittenMixedGates)
+{
+    Circuit c(4, "mixed");
+    c.h(0);
+    c.t(1);
+    c.tdg(2);
+    c.rx(3, 0.125);
+    c.cx(0, 2);
+    c.cz(1, 3);
+    c.cphase(0, 3, 0.75);
+    c.swap(1, 2);
+    c.ms(0, 1, 0.5);
+    c.measureAll();
+    const Circuit reparsed = qasm::parse(qasm::write(c));
+    expectEquivalent(c, reparsed);
+}
+
+} // namespace
+} // namespace qccd

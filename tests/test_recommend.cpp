@@ -1,0 +1,108 @@
+/** @file Tests for the automated design recommender. */
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "common/error.hpp"
+#include "core/recommend.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+/** Small candidate space so tests stay fast. */
+CandidateSpace
+smallSpace()
+{
+    CandidateSpace space;
+    space.topologies = {"linear:3", "grid:2x2"};
+    space.capacities = {8, 12};
+    space.gates = {GateImpl::AM2, GateImpl::FM};
+    space.reorders = {ReorderMethod::GS};
+    return space;
+}
+
+TEST(Recommend, SpaceSizeIsProduct)
+{
+    EXPECT_EQ(smallSpace().size(), 2u * 2u * 2u * 1u);
+    EXPECT_EQ(CandidateSpace{}.size(), 2u * 6u * 4u * 2u);
+}
+
+TEST(Recommend, RankingIsSortedBestFirst)
+{
+    const Circuit c = makeBenchmarkSized("squareroot", 16);
+    const auto ranking = rankDesigns(c, smallSpace());
+    ASSERT_EQ(ranking.size(), smallSpace().size());
+    for (size_t i = 1; i < ranking.size(); ++i)
+        EXPECT_GE(ranking[i - 1].score(), ranking[i].score());
+}
+
+TEST(Recommend, BestEqualsFrontOfRanking)
+{
+    const Circuit c = makeBenchmarkSized("qaoa", 16);
+    const auto ranking = rankDesigns(c, smallSpace());
+    const RankedDesign best = recommendDesign(c, smallSpace());
+    EXPECT_EQ(best.design.label(), ranking.front().design.label());
+    EXPECT_DOUBLE_EQ(best.score(), ranking.front().score());
+}
+
+TEST(Recommend, SkipsTooSmallCandidates)
+{
+    // 30 qubits do not fit linear:3 at capacity 8 (24 slots); those
+    // candidates must be skipped, not fail the whole search.
+    const Circuit c = makeBenchmarkSized("qft", 30);
+    const auto ranking = rankDesigns(c, smallSpace());
+    EXPECT_LT(ranking.size(), smallSpace().size());
+    for (const RankedDesign &r : ranking) {
+        EXPECT_GE(r.design.buildTopology().totalCapacity(), 30);
+    }
+}
+
+TEST(Recommend, ThrowsWhenNothingFits)
+{
+    CandidateSpace space = smallSpace();
+    space.capacities = {4};
+    const Circuit c = makeBenchmarkSized("qft", 30);
+    EXPECT_THROW(rankDesigns(c, space), ConfigError);
+}
+
+TEST(Recommend, GridRecommendedForIrregularWorkload)
+{
+    // The paper's Section IX-B conclusion, automated: SquareRoot's
+    // irregular pattern should select a grid topology.
+    const Circuit c = makeBenchmarkSized("squareroot", 20);
+    CandidateSpace space;
+    space.topologies = {"linear:4", "grid:2x2"};
+    space.capacities = {8};
+    space.gates = {GateImpl::FM};
+    space.reorders = {ReorderMethod::GS};
+    const RankedDesign best = recommendDesign(c, space);
+    EXPECT_EQ(best.design.topologySpec, "grid:2x2");
+}
+
+TEST(Recommend, GsRecommendedOverIs)
+{
+    const Circuit c = makeBenchmarkSized("qft", 16);
+    CandidateSpace space;
+    space.topologies = {"linear:3"};
+    space.capacities = {8};
+    space.gates = {GateImpl::FM};
+    space.reorders = {ReorderMethod::GS, ReorderMethod::IS};
+    const RankedDesign best = recommendDesign(c, space);
+    EXPECT_EQ(best.design.hw.reorder, ReorderMethod::GS);
+}
+
+TEST(Recommend, TableShowsTopRows)
+{
+    const Circuit c = makeBenchmarkSized("bv", 12);
+    const auto ranking = rankDesigns(c, smallSpace());
+    const std::string table = rankingTable(ranking, 3);
+    EXPECT_NE(table.find("rank"), std::string::npos);
+    EXPECT_NE(table.find("1"), std::string::npos);
+    // Only 3 data rows requested: "4" must not appear as a rank.
+    EXPECT_EQ(table.find("\n4  "), std::string::npos);
+}
+
+} // namespace
+} // namespace qccd

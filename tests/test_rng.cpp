@@ -1,0 +1,86 @@
+/** @file Unit tests for the SplitMix64 RNG helpers. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextIntInclusiveBounds)
+{
+    Rng rng(11);
+    std::set<int> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const int v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    // All seven values should appear over 2000 draws.
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U[0,1) should be near 0.5.
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolIsBalanced)
+{
+    Rng rng(17);
+    int trues = 0;
+    for (int i = 0; i < 10000; ++i)
+        trues += rng.nextBool() ? 1 : 0;
+    EXPECT_NEAR(trues / 10000.0, 0.5, 0.03);
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,86 @@
+/** @file Unit tests for the shuttle routing policy. */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "arch/path.hpp"
+#include "common/error.hpp"
+#include "compiler/router.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+class RouterTest : public ::testing::Test
+{
+  protected:
+    RouterTest()
+        : topo_(makeLinear(4, 4)), paths_(topo_, PathCost{}),
+          router_(topo_, paths_), state_(topo_, 8)
+    {
+        // Trap 0: ions 0,1.  Trap 1: 2,3.  Trap 2: 4,5,6,7 (full).
+        state_.placeIon(0, 0, 0);
+        state_.placeIon(0, 1, 1);
+        state_.placeIon(1, 2, 2);
+        state_.placeIon(1, 3, 3);
+        state_.placeIon(2, 4, 4);
+        state_.placeIon(2, 5, 5);
+        state_.placeIon(2, 6, 6);
+        state_.placeIon(2, 7, 7);
+    }
+
+    Topology topo_;
+    PathFinder paths_;
+    Router router_;
+    DeviceState state_;
+};
+
+TEST_F(RouterTest, EqualCostTieBreaksTowardFirstIon)
+{
+    const MoveDecision d = router_.chooseMover(state_, 0, 2);
+    EXPECT_EQ(d.mover, 0);
+    EXPECT_EQ(d.stayer, 2);
+    EXPECT_EQ(d.source, 0);
+    EXPECT_EQ(d.dest, 1);
+}
+
+TEST_F(RouterTest, FullDestinationPenalized)
+{
+    // Gate between ion 2 (trap 1, has space) and ion 4 (trap 2, full):
+    // moving ion 2 into the full trap 2 would need an eviction, so the
+    // router moves ion 4 out instead.
+    const MoveDecision d = router_.chooseMover(state_, 2, 4);
+    EXPECT_EQ(d.mover, 4);
+    EXPECT_EQ(d.dest, 1);
+}
+
+TEST_F(RouterTest, EvictionTargetPrefersNearestWithSpace)
+{
+    // Evicting from full trap 2: trap 1 has 2 free slots and is nearest.
+    EXPECT_EQ(router_.evictionTarget(state_, 2, kInvalidId), 1);
+    // Excluding trap 1 pushes the victim to trap 3 (empty, adjacent).
+    EXPECT_EQ(router_.evictionTarget(state_, 2, 1), 3);
+}
+
+TEST_F(RouterTest, EvictionFailsWhenDeviceFull)
+{
+    const Topology tiny = makeLinear(2, 2);
+    const PathFinder tiny_paths(tiny, PathCost{});
+    const Router tiny_router(tiny, tiny_paths);
+    DeviceState full(tiny, 4);
+    full.placeIon(0, 0, 0);
+    full.placeIon(0, 1, 1);
+    full.placeIon(1, 2, 2);
+    full.placeIon(1, 3, 3);
+    EXPECT_THROW(tiny_router.evictionTarget(full, 0, kInvalidId),
+                 ConfigError);
+}
+
+TEST_F(RouterTest, CoLocatedIonsPanic)
+{
+    EXPECT_THROW(router_.chooseMover(state_, 0, 1), InternalError);
+}
+
+} // namespace
+} // namespace qccd

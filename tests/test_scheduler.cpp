@@ -1,0 +1,224 @@
+/** @file Unit + integration tests for the backend scheduler. */
+
+#include <gtest/gtest.h>
+
+#include "arch/builders.hpp"
+#include "circuit/decompose.hpp"
+#include "common/error.hpp"
+#include "compiler/scheduler.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+HardwareParams
+fmGs()
+{
+    HardwareParams hw;
+    hw.gateImpl = GateImpl::FM;
+    hw.reorder = ReorderMethod::GS;
+    return hw;
+}
+
+TEST(Scheduler, RequiresNativeGates)
+{
+    const Topology topo = makeLinear(2, 6);
+    Circuit c(2);
+    c.cx(0, 1); // not native
+    EXPECT_THROW(Scheduler(c, topo, fmGs()), ConfigError);
+}
+
+TEST(Scheduler, SingleTrapSerialGates)
+{
+    const Topology topo = makeLinear(1, 6);
+    Circuit c(4);
+    c.ms(0, 1);
+    c.ms(2, 3);
+    Scheduler sched(c, topo, fmGs());
+    const ScheduleResult r = sched.run();
+    // Both gates in one trap execute serially: 2 x 100 us FM gates.
+    EXPECT_DOUBLE_EQ(r.metrics.makespan, 200.0);
+    EXPECT_EQ(r.metrics.counts.algorithmMs, 2);
+    EXPECT_EQ(r.metrics.counts.shuttles, 0);
+}
+
+TEST(Scheduler, ParallelTrapsOverlap)
+{
+    const Topology topo = makeLinear(2, 6);
+    Circuit c(8);
+    // H prologue pins the first-use order so qubits 0..3 land in trap
+    // 0 and 4..7 in trap 1 (buffer 2 -> 4 per trap).
+    for (QubitId q = 0; q < 8; ++q)
+        c.h(q);
+    c.ms(0, 1);
+    c.ms(4, 5);
+    Scheduler sched(c, topo, fmGs());
+    const ScheduleResult r = sched.run();
+    // Independent traps run concurrently: 4 serial H (20 us) then one
+    // 100 us FM gate in each trap.
+    EXPECT_DOUBLE_EQ(r.metrics.makespan, 120.0);
+}
+
+TEST(Scheduler, CrossTrapGateShuttles)
+{
+    const Topology topo = makeLinear(2, 6);
+    Circuit c(8);
+    for (QubitId q = 0; q < 8; ++q)
+        c.h(q); // pin placement: 0..3 in trap 0, 4..7 in trap 1
+    c.ms(0, 4);
+    Scheduler sched(c, topo, fmGs());
+    const ScheduleResult r = sched.run();
+    EXPECT_EQ(r.metrics.counts.shuttles, 1);
+    EXPECT_EQ(r.metrics.counts.splits, 1);
+    EXPECT_EQ(r.metrics.counts.merges, 1);
+    EXPECT_EQ(r.metrics.counts.moves, 1);
+    EXPECT_EQ(r.metrics.counts.algorithmMs, 1);
+    // Reorder: qubit 0 sits at the left end of trap 0 and must reach
+    // the right end -> one GS swap (3 MS gates).
+    EXPECT_EQ(r.metrics.counts.reorderMs, 3);
+    // Timing: 20 (H prologue per trap) + 3*100 (GS swap, waits for
+    // q3's H at t=20) + 80 (split) + 5 (move) + 80 (merge) + 100
+    // (FM gate on the merged 5-ion chain, still at the 100 us floor).
+    EXPECT_DOUBLE_EQ(r.metrics.makespan, 20 + 300 + 80 + 5 + 80 + 100);
+}
+
+TEST(Scheduler, MeasurementsAndOneQubitGates)
+{
+    const Topology topo = makeLinear(1, 4);
+    Circuit c(2);
+    c.h(0);
+    c.ms(0, 1);
+    c.measure(0);
+    c.measure(1);
+    Scheduler sched(c, topo, fmGs());
+    const ScheduleResult r = sched.run();
+    EXPECT_EQ(r.metrics.counts.oneQubit, 1);
+    EXPECT_EQ(r.metrics.counts.measurements, 2);
+    // h(5) + ms(100) + two serial measures (150 each).
+    EXPECT_DOUBLE_EQ(r.metrics.makespan, 5 + 100 + 150 + 150);
+}
+
+TEST(Scheduler, RunIsSingleShot)
+{
+    const Topology topo = makeLinear(1, 4);
+    Circuit c(2);
+    c.ms(0, 1);
+    Scheduler sched(c, topo, fmGs());
+    sched.run();
+    EXPECT_THROW(sched.run(), InternalError);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns)
+{
+    const Topology topo = makeLinear(3, 8);
+    const Circuit native = decomposeToNative([] {
+        Circuit c(12, "mix");
+        for (QubitId q = 0; q + 1 < 12; ++q)
+            c.cx(q, q + 1);
+        for (QubitId q = 0; q < 12; q += 3)
+            c.cx(q, 11 - q);
+        c.measureAll();
+        return c;
+    }());
+
+    Scheduler a(native, topo, fmGs());
+    Scheduler b(native, topo, fmGs());
+    const ScheduleResult ra = a.run();
+    const ScheduleResult rb = b.run();
+    EXPECT_DOUBLE_EQ(ra.metrics.makespan, rb.metrics.makespan);
+    EXPECT_DOUBLE_EQ(ra.metrics.logFidelity, rb.metrics.logFidelity);
+    ASSERT_EQ(ra.trace.size(), rb.trace.size());
+    for (size_t i = 0; i < ra.trace.size(); ++i)
+        EXPECT_DOUBLE_EQ(ra.trace[i].start, rb.trace[i].start);
+}
+
+TEST(Scheduler, EvictionWhenDestinationFull)
+{
+    // Two traps of capacity 4, zero buffer: trap 0 holds 0-3, trap 1
+    // holds 4-7. A gate between 0 and 4 must evict someone.
+    const Topology topo = makeLinear(3, 4);
+    HardwareParams hw = fmGs();
+    hw.bufferSlots = 0;
+    Circuit c(8);
+    for (QubitId q = 0; q < 8; ++q)
+        c.h(q); // pin placement
+    c.ms(0, 4);
+    Scheduler sched(c, topo, hw);
+    const ScheduleResult r = sched.run();
+    EXPECT_GE(r.metrics.counts.evictions, 1);
+    EXPECT_EQ(r.metrics.counts.algorithmMs, 1);
+}
+
+TEST(Scheduler, LinearPassThroughUsesIntermediateTrap)
+{
+    // Three traps; a gate between trap 0 and trap 2 must traverse the
+    // occupied middle trap: merge + reorder + split there (Fig. 4).
+    const Topology topo = makeLinear(3, 6);
+    Circuit c(12);
+    for (QubitId q = 0; q < 12; ++q)
+        c.h(q); // pin placement
+    c.ms(0, 11); // trap 0 left end to trap 2
+    Scheduler sched(c, topo, fmGs());
+    const ScheduleResult r = sched.run();
+    EXPECT_EQ(r.metrics.counts.trapPassThroughs, 1);
+    EXPECT_GE(r.metrics.counts.splits, 2);
+    EXPECT_GE(r.metrics.counts.merges, 2);
+}
+
+TEST(Scheduler, GridAvoidsPassThroughs)
+{
+    const Topology topo = makeGrid(2, 3, 8);
+    Circuit c(24);
+    for (QubitId q = 0; q < 24; ++q)
+        c.h(q); // pin placement
+    c.ms(0, 23); // far corner to far corner
+    Scheduler sched(c, topo, fmGs());
+    const ScheduleResult r = sched.run();
+    EXPECT_EQ(r.metrics.counts.trapPassThroughs, 0);
+    EXPECT_GE(r.metrics.counts.junctionCrossings, 1);
+}
+
+TEST(Scheduler, IsReorderingProducesRotations)
+{
+    const Topology topo = makeLinear(2, 8);
+    HardwareParams hw = fmGs();
+    hw.reorder = ReorderMethod::IS;
+    Circuit c(10);
+    for (QubitId q = 0; q < 10; ++q)
+        c.h(q); // pin placement
+    c.ms(0, 9);
+    Scheduler sched(c, topo, hw);
+    const ScheduleResult r = sched.run();
+    EXPECT_GT(r.metrics.counts.rotations, 0);
+    EXPECT_EQ(r.metrics.counts.reorderMs, 0);
+}
+
+TEST(Scheduler, FidelityAccumulatesOverGates)
+{
+    const Topology topo = makeLinear(1, 6);
+    Circuit c(2);
+    c.ms(0, 1);
+    c.ms(0, 1);
+    Scheduler sched(c, topo, fmGs());
+    const ScheduleResult r = sched.run();
+    ASSERT_EQ(r.trace.size(), 2u);
+    EXPECT_NEAR(r.metrics.fidelity(),
+                r.trace[0].fidelity * r.trace[1].fidelity, 1e-12);
+    EXPECT_LT(r.metrics.fidelity(), 1.0);
+}
+
+TEST(Scheduler, BarrierOnlyCircuitRuns)
+{
+    const Topology topo = makeLinear(1, 4);
+    Circuit c(2);
+    Gate b;
+    b.op = Op::Barrier;
+    c.add(b);
+    Scheduler sched(c, topo, fmGs());
+    const ScheduleResult r = sched.run();
+    EXPECT_DOUBLE_EQ(r.metrics.makespan, 0.0);
+}
+
+} // namespace
+} // namespace qccd

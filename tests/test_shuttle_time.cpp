@@ -1,0 +1,51 @@
+/** @file Unit tests for the Table I shuttle timing model. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/shuttle_time.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(ShuttleTime, DefaultsMatchTableOne)
+{
+    ShuttleTimeModel model;
+    EXPECT_DOUBLE_EQ(model.movePerSegment, 5.0);
+    EXPECT_DOUBLE_EQ(model.split, 80.0);
+    EXPECT_DOUBLE_EQ(model.merge, 80.0);
+    EXPECT_DOUBLE_EQ(model.yJunction, 100.0);
+    EXPECT_DOUBLE_EQ(model.xJunction, 120.0);
+}
+
+TEST(ShuttleTime, JunctionCrossingByDegree)
+{
+    ShuttleTimeModel model;
+    EXPECT_DOUBLE_EQ(model.junctionCrossing(3), 100.0);
+    EXPECT_DOUBLE_EQ(model.junctionCrossing(4), 120.0);
+    // Degrees above four still use the X-junction time.
+    EXPECT_DOUBLE_EQ(model.junctionCrossing(5), 120.0);
+}
+
+TEST(ShuttleTime, DegreeBelowThreePanics)
+{
+    ShuttleTimeModel model;
+    EXPECT_THROW(model.junctionCrossing(2), InternalError);
+}
+
+TEST(ShuttleTime, ValidateRejectsNonPositive)
+{
+    ShuttleTimeModel model;
+    model.split = 0;
+    EXPECT_THROW(model.validate(), ConfigError);
+    model.split = 80;
+    model.ionSwapRotation = -1;
+    EXPECT_THROW(model.validate(), ConfigError);
+    model.ionSwapRotation = 50;
+    EXPECT_NO_THROW(model.validate());
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,97 @@
+/** @file Unit tests for static circuit statistics. */
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/stats.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Stats, CountsByClass)
+{
+    Circuit c(4);
+    c.h(0);
+    c.h(1);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.measure(0);
+
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.numQubits, 4);
+    EXPECT_EQ(s.oneQubitGates, 2);
+    EXPECT_EQ(s.twoQubitGates, 2);
+    EXPECT_EQ(s.measurements, 1);
+}
+
+TEST(Stats, DepthTracksCriticalPath)
+{
+    Circuit c(3);
+    c.h(0);        // level 1 on q0
+    c.cx(0, 1);    // level 2 on q0,q1
+    c.cx(1, 2);    // level 3 on q1,q2
+    c.h(2);        // level 4 on q2
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.depth, 4);
+}
+
+TEST(Stats, ParallelGatesShareDepth)
+{
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    EXPECT_EQ(computeStats(c).depth, 1);
+}
+
+TEST(Stats, InteractionDistances)
+{
+    Circuit c(8);
+    c.cx(0, 1);
+    c.cx(0, 7);
+    c.cx(2, 4);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.interactionDistance[1], 1);
+    EXPECT_EQ(s.interactionDistance[7], 1);
+    EXPECT_EQ(s.interactionDistance[2], 1);
+    EXPECT_EQ(s.maxInteractionDistance, 7);
+    EXPECT_NEAR(s.meanInteractionDistance, (1 + 7 + 2) / 3.0, 1e-12);
+}
+
+TEST(Stats, BarriersIgnored)
+{
+    Circuit c(2);
+    Gate b;
+    b.op = Op::Barrier;
+    c.add(b);
+    c.cx(0, 1);
+    const CircuitStats s = computeStats(c);
+    EXPECT_EQ(s.twoQubitGates, 1);
+    EXPECT_EQ(s.depth, 1);
+}
+
+TEST(Stats, PatternLabels)
+{
+    // Nearest neighbour: QAOA's line ansatz.
+    EXPECT_EQ(computeStats(makeQaoa(16, 2)).patternLabel(),
+              "nearest neighbor");
+    // All distances: the QFT couples every pair.
+    EXPECT_EQ(computeStats(makeQft(16)).patternLabel(), "all distances");
+    // BV couples every data qubit to the far ancilla.
+    const std::string bv = computeStats(makeBv(16)).patternLabel();
+    EXPECT_TRUE(bv == "short and long-range" || bv == "all distances")
+        << bv;
+    // Adder stays short range by construction.
+    EXPECT_EQ(computeStats(makeAdder(8)).patternLabel(), "short range");
+}
+
+TEST(Stats, NoTwoQubitGatesLabel)
+{
+    Circuit c(2);
+    c.h(0);
+    EXPECT_EQ(computeStats(c).patternLabel(), "no two-qubit gates");
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,68 @@
+/** @file Unit tests for the text table renderer and number formatting. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderRule)
+{
+    TextTable table;
+    table.addRow({"a", "bb"});
+    table.addRow({"ccc", "d"});
+    const std::string text = table.render();
+    EXPECT_NE(text.find("a"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    EXPECT_NE(text.find("ccc"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.addRow({"x", "y"});
+    table.addRow({"long-cell", "z"});
+    const std::string text = table.render();
+    // Both data rows end with the second column; the first column pads
+    // to the widest cell, so "y" cannot directly follow "x".
+    EXPECT_NE(text.find("x         "), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersEmpty)
+{
+    TextTable table;
+    EXPECT_TRUE(table.render().empty());
+    EXPECT_EQ(table.rowCount(), 0u);
+}
+
+TEST(TextTable, RaggedRowsSupported)
+{
+    TextTable table;
+    table.addRow({"h1", "h2", "h3"});
+    table.addRow({"only-one"});
+    EXPECT_NO_THROW(table.render());
+}
+
+TEST(Format, Significant)
+{
+    EXPECT_EQ(formatSig(1234.5678, 4), "1235");
+    EXPECT_EQ(formatSig(0.00012345, 3), "0.000123");
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(formatFixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Scientific)
+{
+    EXPECT_EQ(formatSci(12345.0, 2), "1.23e+04");
+    EXPECT_EQ(formatSci(0.5, 1), "5.0e-01");
+}
+
+} // namespace
+} // namespace qccd

@@ -1,0 +1,121 @@
+/** @file Integration tests for the end-to-end toolflow API. */
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "common/error.hpp"
+#include "core/toolflow.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Toolflow, RunsGeneralGateSetDirectly)
+{
+    // runToolflow lowers CX/CPhase internally.
+    Circuit c(4, "bell-ish");
+    c.h(0);
+    c.cx(0, 1);
+    c.cphase(2, 3, 0.5);
+    c.measureAll();
+
+    DesignPoint dp = DesignPoint::linear(2, 6);
+    const RunResult r = runToolflow(c, dp);
+    EXPECT_GT(r.totalTime(), 0.0);
+    EXPECT_GT(r.fidelity(), 0.0);
+    EXPECT_LT(r.fidelity(), 1.0);
+    EXPECT_EQ(r.sim.counts.algorithmMs, 3); // 1 CX + 2 for CPhase
+    EXPECT_EQ(r.sim.counts.measurements, 4);
+}
+
+TEST(Toolflow, DetailedRunExposesTraceAndMapping)
+{
+    const Circuit c = makeBenchmarkSized("qaoa", 12);
+    DesignPoint dp = DesignPoint::linear(3, 8);
+    const ScheduleResult r = runToolflowDetailed(c, dp);
+    EXPECT_FALSE(r.trace.empty());
+    EXPECT_EQ(r.mapping.trapOf.size(), 12u);
+    EXPECT_EQ(r.mapping.chainOrder.size(), 3u);
+}
+
+TEST(Toolflow, RuntimeDecompositionSumsToTotal)
+{
+    const Circuit c = makeBenchmarkSized("qft", 12);
+    DesignPoint dp = DesignPoint::linear(3, 8);
+    RunOptions options;
+    options.decomposeRuntime = true;
+    const RunResult r = runToolflow(c, dp, options);
+    EXPECT_GT(r.computeOnlyTime, 0.0);
+    EXPECT_LE(r.computeOnlyTime, r.totalTime());
+    EXPECT_NEAR(r.computeOnlyTime + r.communicationTime(),
+                r.totalTime(), 1e-6);
+}
+
+TEST(Toolflow, ApplicationTooLargeRejected)
+{
+    const Circuit c = makeBenchmarkSized("qft", 40);
+    DesignPoint dp = DesignPoint::linear(2, 10); // capacity 20 < 40
+    EXPECT_THROW(runToolflow(c, dp), ConfigError);
+}
+
+TEST(Toolflow, DesignPointLabels)
+{
+    DesignPoint lin = DesignPoint::linear(6, 22);
+    EXPECT_EQ(lin.label(), "linear:6 cap=22 FM-GS");
+    DesignPoint grid =
+        DesignPoint::grid(2, 3, 18, GateImpl::AM2, ReorderMethod::IS);
+    EXPECT_EQ(grid.label(), "grid:2x3 cap=18 AM2-IS");
+    EXPECT_EQ(grid.buildTopology().trapCount(), 6);
+}
+
+TEST(Toolflow, MoreCommunicationLowersFidelity)
+{
+    // The same program with qubit pairs forced across traps must lose
+    // fidelity versus a co-located version.
+    Circuit local(16, "local");
+    for (QubitId q = 0; q < 16; ++q)
+        local.h(q); // pin first-use placement
+    for (int rep = 0; rep < 10; ++rep)
+        local.ms(0, 1); // same trap
+    Circuit remote(16, "remote");
+    for (QubitId q = 0; q < 16; ++q)
+        remote.h(q);
+    for (int rep = 0; rep < 10; ++rep)
+        remote.ms(0, 15); // opposite ends of the device
+
+    DesignPoint dp = DesignPoint::linear(4, 6);
+    const RunResult rl = runToolflow(local, dp);
+    const RunResult rr = runToolflow(remote, dp);
+    EXPECT_GT(rl.fidelity(), rr.fidelity());
+    EXPECT_LT(rl.totalTime(), rr.totalTime());
+}
+
+TEST(Toolflow, RecoolExtensionImprovesFidelity)
+{
+    const Circuit c = makeBenchmarkSized("qft", 16);
+    DesignPoint base = DesignPoint::linear(4, 6);
+    DesignPoint cooled = base;
+    cooled.hw.recoolFactor = 0.1; // strong sympathetic recooling
+
+    const RunResult rb = runToolflow(c, base);
+    const RunResult rc = runToolflow(c, cooled);
+    EXPECT_GT(rc.fidelity(), rb.fidelity());
+}
+
+TEST(Toolflow, HigherHeatingRatesLowerFidelity)
+{
+    const Circuit c = makeBenchmarkSized("qft", 16);
+    DesignPoint base = DesignPoint::linear(4, 6);
+    DesignPoint hot = base;
+    hot.hw.heatingK1 = 1.0; // Honeywell-scale rather than projected
+    hot.hw.heatingK2 = 0.1;
+
+    const RunResult rb = runToolflow(c, base);
+    const RunResult rh = runToolflow(c, hot);
+    EXPECT_GT(rb.fidelity(), rh.fidelity());
+    EXPECT_GT(rh.sim.maxChainEnergy, rb.sim.maxChainEnergy);
+}
+
+} // namespace
+} // namespace qccd

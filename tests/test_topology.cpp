@@ -1,0 +1,97 @@
+/** @file Unit tests for the device topology graph. */
+
+#include <gtest/gtest.h>
+
+#include "arch/topology.hpp"
+#include "common/error.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+TEST(Topology, AddTrapAndJunction)
+{
+    Topology topo;
+    const NodeId t0 = topo.addTrap(10);
+    const NodeId t1 = topo.addTrap(12);
+    const NodeId j = topo.addJunction();
+
+    EXPECT_EQ(topo.nodeCount(), 3);
+    EXPECT_EQ(topo.trapCount(), 2);
+    EXPECT_EQ(topo.junctionCount(), 1);
+    EXPECT_EQ(topo.node(t0).kind, NodeKind::Trap);
+    EXPECT_EQ(topo.node(t0).capacity, 10);
+    EXPECT_EQ(topo.node(j).kind, NodeKind::Junction);
+    EXPECT_EQ(topo.trapNode(0), t0);
+    EXPECT_EQ(topo.trapNode(1), t1);
+    EXPECT_EQ(topo.totalCapacity(), 22);
+}
+
+TEST(Topology, ConnectBuildsAdjacency)
+{
+    Topology topo;
+    const NodeId a = topo.addTrap(4);
+    const NodeId b = topo.addTrap(4);
+    const EdgeId e = topo.connect(a, b, 3);
+
+    EXPECT_EQ(topo.edgeCount(), 1);
+    EXPECT_EQ(topo.edge(e).segments, 3);
+    EXPECT_EQ(topo.edge(e).other(a), b);
+    EXPECT_EQ(topo.edge(e).other(b), a);
+    EXPECT_EQ(topo.degree(a), 1);
+    EXPECT_EQ(topo.incidentEdges(b).size(), 1u);
+}
+
+TEST(Topology, ConnectivityDetection)
+{
+    Topology topo;
+    const NodeId a = topo.addTrap(4);
+    const NodeId b = topo.addTrap(4);
+    const NodeId c = topo.addTrap(4);
+    topo.connect(a, b);
+    EXPECT_FALSE(topo.isConnected());
+    topo.connect(b, c);
+    EXPECT_TRUE(topo.isConnected());
+}
+
+TEST(Topology, EmptyGraphIsConnected)
+{
+    Topology topo;
+    EXPECT_TRUE(topo.isConnected());
+}
+
+TEST(Topology, InvalidConstructionRejected)
+{
+    Topology topo;
+    const NodeId a = topo.addTrap(4);
+    EXPECT_THROW(topo.addTrap(1), ConfigError);
+    EXPECT_THROW(topo.connect(a, a), ConfigError);
+    EXPECT_THROW(topo.connect(a, 99), ConfigError);
+    const NodeId b = topo.addTrap(4);
+    EXPECT_THROW(topo.connect(a, b, 0), ConfigError);
+}
+
+TEST(Topology, OutOfRangeAccessPanics)
+{
+    Topology topo;
+    topo.addTrap(4);
+    EXPECT_THROW(topo.node(5), InternalError);
+    EXPECT_THROW(topo.edge(0), InternalError);
+    EXPECT_THROW(topo.trapNode(1), InternalError);
+}
+
+TEST(Topology, SummaryMentionsCounts)
+{
+    Topology topo;
+    topo.addTrap(4);
+    topo.addTrap(4);
+    topo.connect(0, 1);
+    const std::string s = topo.summary();
+    EXPECT_NE(s.find("2 traps"), std::string::npos);
+    EXPECT_NE(s.find("1 edges"), std::string::npos);
+    EXPECT_NE(s.find("capacity 8"), std::string::npos);
+}
+
+} // namespace
+} // namespace qccd
