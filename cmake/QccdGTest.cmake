@@ -1,0 +1,25 @@
+# Provide the GTest::gtest / GTest::gtest_main targets.
+#
+# Prefers an installed GoogleTest (find_package) so the build works
+# fully offline; falls back to FetchContent when no package is found,
+# so a clean online machine still builds without preinstalling
+# anything. QCCD_FORCE_FETCH_GTEST=ON skips the package lookup to
+# exercise the fallback path (used by one CI job).
+
+if(NOT QCCD_FORCE_FETCH_GTEST)
+    find_package(GTest QUIET)
+endif()
+
+if(NOT TARGET GTest::gtest_main)
+    message(STATUS "System GoogleTest not found; fetching v1.14.0")
+    include(FetchContent)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    # Match the parent project's runtime on MSVC-style toolchains.
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_Declare(
+        googletest
+        URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+        URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+        DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    FetchContent_MakeAvailable(googletest)
+endif()

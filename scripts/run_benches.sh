@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Run every bench executable and record the perf trajectory as
+# BENCH_<name>.json files.
+#
+# Usage: scripts/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#
+#   BUILD_DIR  CMake build tree containing bench/ (default: build)
+#   OUT_DIR    where BENCH_*.json and bench CSVs land (default: bench_results)
+#
+# Each paper-figure bench gets a wrapper record with its wall time and
+# exit code; micro_models (google-benchmark) emits its native JSON
+# report, which downstream tooling can diff run-over-run.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench_results}
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+    echo "error: $BUILD_DIR/bench not found — build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+OUT_DIR=$(cd "$OUT_DIR" && pwd)
+
+# GNU date gives nanoseconds; BSD date prints a literal 'N' — fall
+# back to whole seconds there rather than recording garbage.
+now_ns() {
+    local ns
+    ns=$(date +%s%N)
+    if [[ $ns == *[!0-9]* ]]; then
+        ns=$(($(date +%s) * 1000000000))
+    fi
+    echo "$ns"
+}
+
+# Benches write scratch CSVs into their cwd; keep that out of the repo.
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+failures=0
+for exe in "$BUILD_DIR"/bench/*; do
+    [[ -f "$exe" && -x "$exe" ]] || continue
+    name=$(basename "$exe")
+    abs_exe=$(cd "$(dirname "$exe")" && pwd)/$name
+    stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+    if [[ "$name" == "micro_models" ]]; then
+        echo "== $name (google-benchmark) =="
+        # Write to a temp file first so a crashed run can't leave a
+        # truncated JSON record behind.
+        if (cd "$scratch" && "$abs_exe" --benchmark_format=json \
+                > "$scratch/BENCH_${name}.json"); then
+            mv "$scratch/BENCH_${name}.json" "$OUT_DIR/BENCH_${name}.json"
+            echo "   wrote BENCH_${name}.json"
+        else
+            echo "   FAILED" >&2
+            failures=$((failures + 1))
+        fi
+        continue
+    fi
+
+    echo "== $name =="
+    start_ns=$(now_ns)
+    if (cd "$scratch" && "$abs_exe" > "$OUT_DIR/${name}.log" 2>&1); then
+        exit_code=0
+    else
+        exit_code=$?
+        failures=$((failures + 1))
+        echo "   FAILED (exit $exit_code), see $OUT_DIR/${name}.log" >&2
+    fi
+    end_ns=$(now_ns)
+    wall=$(awk "BEGIN { printf \"%.3f\", ($end_ns - $start_ns) / 1e9 }")
+
+    cat > "$OUT_DIR/BENCH_${name}.json" <<EOF
+{
+  "bench": "$name",
+  "exit_code": $exit_code,
+  "wall_seconds": $wall,
+  "timestamp_utc": "$stamp"
+}
+EOF
+    echo "   ${wall}s -> BENCH_${name}.json"
+done
+
+# Keep any figure CSVs the benches produced alongside the JSON records.
+find "$scratch" -maxdepth 1 -name '*.csv' -exec cp {} "$OUT_DIR"/ \;
+
+echo
+echo "results in $OUT_DIR:"
+ls "$OUT_DIR"/BENCH_*.json 2>/dev/null || true
+
+exit "$failures"

@@ -71,8 +71,9 @@ TEST(Benchgen, SupremacyShape)
     EXPECT_EQ(s.twoQubitGates, 60);
     // Grid-NN pairs at linear distance 1 (horizontal) or 4 (vertical).
     for (int d = 0; d < s.numQubits; ++d) {
-        if (d != 1 && d != 4)
+        if (d != 1 && d != 4) {
             EXPECT_EQ(s.interactionDistance[d], 0) << "distance " << d;
+        }
     }
 }
 

@@ -100,8 +100,9 @@ TEST_P(FidelityChainProperty, MotionalErrorGrowsWithChainLength)
     const int n = GetParam();
     FidelityModel model;
     // N/ln(N) is increasing for N >= 3 (it dips between 2 and e).
-    if (n >= 3)
+    if (n >= 3) {
         EXPECT_GT(model.scaleFactorA(n + 1), model.scaleFactorA(n));
+    }
     EXPECT_GT(model.scaleFactorA(n), 0.0);
 }
 

@@ -111,8 +111,9 @@ TEST_P(GateTimeProperty, MonotoneInChainLengthForFm)
     double prev = 0;
     for (int n = 4; n <= 34; ++n) {
         const double tau = model.twoQubit(1, n);
-        if (GetParam() == GateImpl::FM)
+        if (GetParam() == GateImpl::FM) {
             EXPECT_GE(tau, prev);
+        }
         prev = tau;
     }
 }

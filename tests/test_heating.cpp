@@ -75,8 +75,9 @@ TEST_P(HeatingSplitProperty, EnergyConservedUpToK1)
         EXPECT_GE(a, model.k1());
         EXPECT_GE(b, model.k1());
         // Larger sub-chain takes at least the smaller one's share.
-        if (na > nb)
+        if (na > nb) {
             EXPECT_GE(a, b);
+        }
     }
 }
 

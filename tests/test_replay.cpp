@@ -126,9 +126,11 @@ TEST(ReplayConsistency, EnergyNeverNegativeAlongTrace)
     HardwareParams hw;
     Scheduler sched(native, topo, hw);
     const ScheduleResult r = sched.run();
-    for (const PrimOp &op : r.trace)
-        if (op.kind == PrimKind::GateMS)
+    for (const PrimOp &op : r.trace) {
+        if (op.kind == PrimKind::GateMS) {
             ASSERT_GE(op.nbar, 0.0);
+        }
+    }
     EXPECT_GE(r.metrics.maxChainEnergy, 0.0);
 }
 
