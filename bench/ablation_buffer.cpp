@@ -8,32 +8,45 @@
 
 #include <iostream>
 
-#include "benchgen/benchgen.hpp"
 #include "common/table.hpp"
-#include "core/toolflow.hpp"
+#include "core/sweep_engine.hpp"
 
 int
 main()
 {
     using namespace qccd;
 
+    // All 15 points share one L6 cap=22 context; buffer slots only
+    // change the compiler's headroom, not the architecture.
+    SweepEngine engine;
+    std::vector<SweepJob> jobs;
+    const std::vector<int> buffers{0, 1, 2, 4, 6};
+    for (const char *app : {"qft", "squareroot", "supremacy"}) {
+        const auto native = engine.nativeBenchmark(app);
+        for (int buffer : buffers) {
+            SweepJob job;
+            job.application = app;
+            job.native = native;
+            job.design = DesignPoint::linear(6, 22);
+            job.design.hw.bufferSlots = buffer;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const auto points = engine.run(jobs);
+
     std::cout << "=== Ablation: buffer slots per trap (L6 cap=22, FM-GS) "
                  "===\n";
     TextTable table;
     table.addRow({"app", "buffer", "time (s)", "fidelity", "evictions",
                   "shuttles"});
-    for (const char *app : {"qft", "squareroot", "supremacy"}) {
-        const Circuit circuit = makeBenchmark(app);
-        for (int buffer : {0, 1, 2, 4, 6}) {
-            DesignPoint dp = DesignPoint::linear(6, 22);
-            dp.hw.bufferSlots = buffer;
-            const RunResult r = runToolflow(circuit, dp);
-            table.addRow({app, std::to_string(buffer),
-                          formatSig(r.totalTime() / kSecondUs, 4),
-                          formatSci(r.fidelity(), 3),
-                          std::to_string(r.sim.counts.evictions),
-                          std::to_string(r.sim.counts.shuttles)});
-        }
+    for (const SweepPoint &p : points) {
+        const RunResult &r = p.result;
+        table.addRow({p.application,
+                      std::to_string(p.design.hw.bufferSlots),
+                      formatSig(r.totalTime() / kSecondUs, 4),
+                      formatSci(r.fidelity(), 3),
+                      std::to_string(r.sim.counts.evictions),
+                      std::to_string(r.sim.counts.shuttles)});
     }
     std::cout << table.render();
     return 0;

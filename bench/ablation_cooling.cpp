@@ -10,31 +10,43 @@
 
 #include <iostream>
 
-#include "benchgen/benchgen.hpp"
 #include "common/table.hpp"
-#include "core/toolflow.hpp"
+#include "core/sweep_engine.hpp"
 
 int
 main()
 {
     using namespace qccd;
 
+    // One shared L6 cap=22 context; the recool factor is a pure model
+    // knob, so all 15 points ride the same architecture.
+    SweepEngine engine;
+    std::vector<SweepJob> jobs;
+    for (const char *app : {"qft", "squareroot", "supremacy"}) {
+        const auto native = engine.nativeBenchmark(app);
+        for (double factor : {1.0, 0.5, 0.25, 0.1, 0.01}) {
+            SweepJob job;
+            job.application = app;
+            job.native = native;
+            job.design = DesignPoint::linear(6, 22);
+            job.design.hw.recoolFactor = factor;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const auto points = engine.run(jobs);
+
     std::cout << "=== Extension: post-merge sympathetic recooling "
                  "(L6 cap=22, FM-GS) ===\n";
     TextTable table;
     table.addRow({"app", "recool factor", "fidelity",
                   "max heat (quanta)", "time (s)"});
-    for (const char *app : {"qft", "squareroot", "supremacy"}) {
-        const Circuit circuit = makeBenchmark(app);
-        for (double factor : {1.0, 0.5, 0.25, 0.1, 0.01}) {
-            DesignPoint dp = DesignPoint::linear(6, 22);
-            dp.hw.recoolFactor = factor;
-            const RunResult r = runToolflow(circuit, dp);
-            table.addRow({app, formatSig(factor, 3),
-                          formatSci(r.fidelity(), 3),
-                          formatSig(r.sim.maxChainEnergy, 4),
-                          formatSig(r.totalTime() / kSecondUs, 4)});
-        }
+    for (const SweepPoint &p : points) {
+        const RunResult &r = p.result;
+        table.addRow({p.application,
+                      formatSig(p.design.hw.recoolFactor, 3),
+                      formatSci(r.fidelity(), 3),
+                      formatSig(r.sim.maxChainEnergy, 4),
+                      formatSig(r.totalTime() / kSecondUs, 4)});
     }
     std::cout << table.render();
     std::cout << "\nfactor=1.0 is the paper's model (no recooling); "

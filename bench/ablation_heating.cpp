@@ -8,32 +8,43 @@
 
 #include <iostream>
 
-#include "benchgen/benchgen.hpp"
 #include "common/table.hpp"
-#include "core/toolflow.hpp"
+#include "core/sweep_engine.hpp"
 
 int
 main()
 {
     using namespace qccd;
 
+    // Heating constants are model knobs: one shared L6 cap=22 context
+    // serves all ten points.
+    SweepEngine engine;
+    std::vector<SweepJob> jobs;
+    const double scales[] = {0.1, 0.5, 1.0, 2.0, 10.0};
+    for (const char *app : {"qft", "supremacy"}) {
+        const auto native = engine.nativeBenchmark(app);
+        for (double s : scales) {
+            SweepJob job;
+            job.application = app;
+            job.native = native;
+            job.design = DesignPoint::linear(6, 22);
+            job.design.hw.heatingK1 = 0.1 * s;
+            job.design.hw.heatingK2 = 0.01 * s;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const auto points = engine.run(jobs);
+
     std::cout << "=== Ablation: heating constants (L6 cap=22, FM-GS) "
                  "===\n";
     TextTable table;
     table.addRow({"app", "k1", "k2", "fidelity", "max heat (quanta)"});
-    const double scales[] = {0.1, 0.5, 1.0, 2.0, 10.0};
-    for (const char *app : {"qft", "supremacy"}) {
-        const Circuit circuit = makeBenchmark(app);
-        for (double s : scales) {
-            DesignPoint dp = DesignPoint::linear(6, 22);
-            dp.hw.heatingK1 = 0.1 * s;
-            dp.hw.heatingK2 = 0.01 * s;
-            const RunResult r = runToolflow(circuit, dp);
-            table.addRow({app, formatSig(dp.hw.heatingK1, 3),
-                          formatSig(dp.hw.heatingK2, 3),
-                          formatSci(r.fidelity(), 3),
-                          formatSig(r.sim.maxChainEnergy, 4)});
-        }
+    for (const SweepPoint &p : points) {
+        const RunResult &r = p.result;
+        table.addRow({p.application, formatSig(p.design.hw.heatingK1, 3),
+                      formatSig(p.design.hw.heatingK2, 3),
+                      formatSci(r.fidelity(), 3),
+                      formatSig(r.sim.maxChainEnergy, 4)});
     }
     std::cout << table.render();
     std::cout << "\nk1=1.0 corresponds to Honeywell-scale heating; the "

@@ -9,28 +9,44 @@
 
 #include <iostream>
 
-#include "benchgen/benchgen.hpp"
 #include "common/table.hpp"
-#include "core/toolflow.hpp"
+#include "core/sweep_engine.hpp"
 
 int
 main()
 {
     using namespace qccd;
 
+    // The mapping policy is a RunOptions knob: one shared L6 cap=22
+    // context serves both policies for all six applications.
+    SweepEngine engine;
+    std::vector<SweepJob> jobs;
+    for (const char *app : {"qft", "qaoa", "supremacy", "squareroot",
+                            "bv", "adder"}) {
+        const auto native = engine.nativeBenchmark(app);
+        for (MappingPolicy policy : {MappingPolicy::Packed,
+                                     MappingPolicy::Balanced}) {
+            SweepJob job;
+            job.application = app;
+            job.native = native;
+            job.design = DesignPoint::linear(6, 22);
+            job.options.mappingPolicy = policy;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const auto points = engine.run(jobs);
+
     std::cout << "=== Ablation: mapping policy (L6 cap=22, FM-GS) ===\n";
     TextTable table;
     table.addRow({"app", "policy", "time (s)", "fidelity", "shuttles",
                   "reorder MS"});
+    // Points come back in job order: (app, policy) nested as above.
+    size_t at = 0;
     for (const char *app : {"qft", "qaoa", "supremacy", "squareroot",
                             "bv", "adder"}) {
-        const Circuit circuit = makeBenchmark(app);
         for (MappingPolicy policy : {MappingPolicy::Packed,
                                      MappingPolicy::Balanced}) {
-            const DesignPoint dp = DesignPoint::linear(6, 22);
-            RunOptions options;
-            options.mappingPolicy = policy;
-            const RunResult r = runToolflow(circuit, dp, options);
+            const RunResult &r = points[at++].result;
             table.addRow(
                 {app,
                  policy == MappingPolicy::Packed ? "packed" : "balanced",

@@ -14,6 +14,7 @@
 #include "core/export.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_engine.hpp"
 
 int
 main()
@@ -24,10 +25,13 @@ main()
                                         "qaoa", "qft", "squareroot"};
     const std::vector<int> caps = paperCapacities();
 
-    const auto linear = sweepCapacity(apps, caps, [](int cap) {
+    // One engine for both topologies: each app is lowered once and the
+    // two sweeps run on the shared worker pool.
+    SweepEngine engine;
+    const auto linear = sweepCapacity(engine, apps, caps, [](int cap) {
         return DesignPoint::linear(6, cap);
     });
-    const auto grid = sweepCapacity(apps, caps, [](int cap) {
+    const auto grid = sweepCapacity(engine, apps, caps, [](int cap) {
         return DesignPoint::grid(2, 3, cap);
     });
 

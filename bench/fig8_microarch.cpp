@@ -5,15 +5,19 @@
  * reordering method {GS, IS} on the L6 topology, capacity 14-34.
  * Prints one fidelity table and one runtime table per application, one
  * row per combination (the figure's eight curves).
+ *
+ * All 288 points are evaluated as one SweepEngine batch: every app is
+ * lowered once, every capacity's L6 architecture is built once (the
+ * eight combos per capacity share it), and the batch runs across the
+ * worker pool. Results come back in job order, so the tables below
+ * just walk the points in the same nested loop order.
  */
 
 #include <iostream>
 #include <vector>
 
-#include "benchgen/benchgen.hpp"
 #include "common/table.hpp"
-#include "core/report.hpp"
-#include "core/toolflow.hpp"
+#include "core/sweep_engine.hpp"
 
 int
 main()
@@ -28,11 +32,31 @@ main()
     const std::vector<ReorderMethod> reorders{ReorderMethod::GS,
                                               ReorderMethod::IS};
 
+    SweepEngine engine;
+    std::vector<SweepJob> jobs;
+    jobs.reserve(apps.size() * gates.size() * reorders.size() *
+                 caps.size());
+    for (const std::string &app : apps) {
+        const auto native = engine.nativeBenchmark(app);
+        for (GateImpl gate : gates) {
+            for (ReorderMethod reorder : reorders) {
+                for (int cap : caps) {
+                    SweepJob job;
+                    job.application = app;
+                    job.native = native;
+                    job.design =
+                        DesignPoint::linear(6, cap, gate, reorder);
+                    jobs.push_back(std::move(job));
+                }
+            }
+        }
+    }
+    const auto points = engine.run(jobs);
+
     std::cout << "=== Figure 8: microarchitecture (L6), 8 combos ===\n";
 
+    size_t at = 0;
     for (const std::string &app : apps) {
-        const Circuit circuit = makeBenchmark(app);
-
         TextTable fid;
         TextTable time;
         std::vector<std::string> header{"combo"};
@@ -46,10 +70,8 @@ main()
                 std::vector<std::string> frow{gateImplName(gate) + "-" +
                                               reorderMethodName(reorder)};
                 std::vector<std::string> trow = frow;
-                for (int cap : caps) {
-                    const DesignPoint dp =
-                        DesignPoint::linear(6, cap, gate, reorder);
-                    const RunResult r = runToolflow(circuit, dp);
+                for (size_t c = 0; c < caps.size(); ++c) {
+                    const RunResult &r = points[at++].result;
                     frow.push_back(formatSci(r.fidelity(), 3));
                     trow.push_back(
                         formatSig(r.totalTime() / kSecondUs, 4));

@@ -15,6 +15,7 @@
 #include "circuit/qasm/parser.hpp"
 #include "circuit/qasm/writer.hpp"
 #include "compiler/scheduler.hpp"
+#include "core/sweep_engine.hpp"
 #include "core/toolflow.hpp"
 
 namespace
@@ -118,5 +119,40 @@ BM_FullToolflowSupremacy(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullToolflowSupremacy)->Unit(benchmark::kMillisecond);
+
+void
+BM_ToolflowSharedContext(benchmark::State &state)
+{
+    // Same workload as BM_FullToolflowSupremacy minus the per-run
+    // lowering and Topology/PathFinder construction: the gap between
+    // the two is the fixed cost the SweepEngine caches away per point.
+    const Circuit native = decomposeToNative(makeBenchmark("supremacy"));
+    const DesignPoint dp = DesignPoint::linear(6, 22);
+    const ToolflowContext context(dp);
+    for (auto _ : state) {
+        const RunResult r = runToolflow(native, dp, context);
+        benchmark::DoNotOptimize(r.fidelity());
+    }
+}
+BENCHMARK(BM_ToolflowSharedContext)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepEngineBatch(benchmark::State &state)
+{
+    // An 18-point capacity sweep through the engine; Arg is the worker
+    // count, so Arg(1) vs Arg(4) shows the parallel win on multi-core.
+    const int jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        SweepEngine engine(jobs);
+        const auto points =
+            sweepCapacity(engine, {"bv", "adder", "supremacy"},
+                          paperCapacities(), [](int cap) {
+                              return DesignPoint::linear(6, cap);
+                          });
+        benchmark::DoNotOptimize(points.size());
+    }
+}
+BENCHMARK(BM_SweepEngineBatch)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -2,18 +2,24 @@
 # Run every bench executable and record the perf trajectory as
 # BENCH_<name>.json files.
 #
-# Usage: scripts/run_benches.sh [BUILD_DIR] [OUT_DIR]
+# Usage: scripts/run_benches.sh [BUILD_DIR] [OUT_DIR] [BENCH...]
 #
 #   BUILD_DIR  CMake build tree containing bench/ (default: build)
 #   OUT_DIR    where BENCH_*.json and bench CSVs land (default: bench_results)
+#   BENCH...   optional bench names to run (default: every executable)
 #
-# Each paper-figure bench gets a wrapper record with its wall time and
-# exit code; micro_models (google-benchmark) emits its native JSON
-# report, which downstream tooling can diff run-over-run.
+# Each paper-figure bench gets a wrapper record with its wall time,
+# exit code, and the sweep worker count (QCCD_JOBS or the core count),
+# so the perf trajectory stays comparable across PRs and job settings;
+# micro_models (google-benchmark) emits its native JSON report, which
+# downstream tooling can diff run-over-run. A BENCH_SUMMARY.json with
+# every bench's wall time is written last.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT_DIR=${2:-bench_results}
+shift $(( $# > 2 ? 2 : $# )) || true
+ONLY=("$@")
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
     echo "error: $BUILD_DIR/bench not found — build first:" >&2
@@ -23,6 +29,10 @@ fi
 
 mkdir -p "$OUT_DIR"
 OUT_DIR=$(cd "$OUT_DIR" && pwd)
+
+# The worker count the sweep engine will resolve (see SweepEngine):
+# QCCD_JOBS when set, otherwise every core.
+jobs=${QCCD_JOBS:-$(nproc 2>/dev/null || echo 1)}
 
 # GNU date gives nanoseconds; BSD date prints a literal 'N' — fall
 # back to whole seconds there rather than recording garbage.
@@ -35,14 +45,27 @@ now_ns() {
     echo "$ns"
 }
 
+wanted() {
+    [[ ${#ONLY[@]} -eq 0 ]] && return 0
+    local name
+    for name in "${ONLY[@]}"; do
+        [[ "$name" == "$1" ]] && return 0
+    done
+    return 1
+}
+
 # Benches write scratch CSVs into their cwd; keep that out of the repo.
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
 
 failures=0
+summary_rows=()
+matched=()
 for exe in "$BUILD_DIR"/bench/*; do
     [[ -f "$exe" && -x "$exe" ]] || continue
     name=$(basename "$exe")
+    wanted "$name" || continue
+    matched+=("$name")
     abs_exe=$(cd "$(dirname "$exe")" && pwd)/$name
     stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
@@ -78,11 +101,44 @@ for exe in "$BUILD_DIR"/bench/*; do
   "bench": "$name",
   "exit_code": $exit_code,
   "wall_seconds": $wall,
+  "jobs": $jobs,
   "timestamp_utc": "$stamp"
 }
 EOF
+    summary_rows+=("    {\"bench\": \"$name\", \"wall_seconds\": $wall, \"exit_code\": $exit_code}")
     echo "   ${wall}s -> BENCH_${name}.json"
 done
+
+# A requested bench that matched nothing is an error, not a silently
+# green empty run (a renamed bench must break the CI serial-reference
+# step, not void it).
+for name in "${ONLY[@]+"${ONLY[@]}"}"; do
+    found=0
+    for ran in "${matched[@]+"${matched[@]}"}"; do
+        [[ "$ran" == "$name" ]] && found=1
+    done
+    if [[ $found -eq 0 ]]; then
+        echo "error: requested bench '$name' not found in $BUILD_DIR/bench" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+# One aggregate record so the per-bench wall-time trajectory can be
+# diffed across PRs without opening every BENCH_*.json.
+{
+    echo "{"
+    echo "  \"jobs\": $jobs,"
+    echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"benches\": ["
+    sep=""
+    for row in "${summary_rows[@]+"${summary_rows[@]}"}"; do
+        printf '%s%s' "$sep" "$row"
+        sep=$',\n'
+    done
+    echo
+    echo "  ]"
+    echo "}"
+} > "$OUT_DIR/BENCH_SUMMARY.json"
 
 # Keep any figure CSVs the benches produced alongside the JSON records.
 find "$scratch" -maxdepth 1 -name '*.csv' -exec cp {} "$OUT_DIR"/ \;

@@ -83,15 +83,25 @@ makeFromSpec(const std::string &spec, int capacity)
         throw ConfigError("unknown topology spec '" + spec + "'");
     }
 
+    // Optional ":sN" suffix: N transport segments per inter-trap edge
+    // (default 1), e.g. "linear:6:s4" for the segment-count ablation.
+    int segments = 1;
+    const size_t suffix = body.rfind(":s");
+    if (suffix != std::string::npos) {
+        segments = parsePositiveInt(body.substr(suffix + 2), spec);
+        body = body.substr(0, suffix);
+    }
+
     if (linear)
-        return makeLinear(parsePositiveInt(body, spec), capacity);
+        return makeLinear(parsePositiveInt(body, spec), capacity,
+                          segments);
 
     const size_t x = body.find('x');
     fatalUnless(x != std::string::npos,
                 "grid spec must look like grid:RxC, got '" + spec + "'");
     const int rows = parsePositiveInt(body.substr(0, x), spec);
     const int cols = parsePositiveInt(body.substr(x + 1), spec);
-    return makeGrid(rows, cols, capacity);
+    return makeGrid(rows, cols, capacity, segments);
 }
 
 } // namespace qccd

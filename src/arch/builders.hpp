@@ -44,6 +44,9 @@ Topology makeGrid(int rows, int cols, int capacity,
  *  - "linear:N" or "lN"  -> makeLinear(N, capacity)
  *  - "grid:RxC" or "gRxC" -> makeGrid(R, C, capacity)
  *
+ * An optional ":sN" suffix sets the segments per inter-trap edge
+ * (default 1), e.g. "linear:6:s4".
+ *
  * @throws ConfigError on malformed specs.
  */
 Topology makeFromSpec(const std::string &spec, int capacity);

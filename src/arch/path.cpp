@@ -1,6 +1,5 @@
 #include "arch/path.hpp"
 
-#include <algorithm>
 #include <limits>
 #include <queue>
 
@@ -9,32 +8,25 @@
 namespace qccd
 {
 
-int
-Path::throughTrapCount() const
+void
+Path::finalizeCounts(const Topology &topo)
 {
-    return static_cast<int>(std::count_if(
-        steps.begin(), steps.end(), [](const PathStep &s) {
-            return s.kind == PathStep::Kind::ThroughTrap;
-        }));
-}
-
-int
-Path::junctionCount() const
-{
-    return static_cast<int>(std::count_if(
-        steps.begin(), steps.end(), [](const PathStep &s) {
-            return s.kind == PathStep::Kind::Junction;
-        }));
-}
-
-int
-Path::segmentCount(const Topology &topo) const
-{
-    int total = 0;
-    for (const PathStep &s : steps)
-        if (s.kind == PathStep::Kind::Edge)
-            total += topo.edge(s.id).segments;
-    return total;
+    throughTraps = 0;
+    junctions = 0;
+    segments = 0;
+    for (const PathStep &s : steps) {
+        switch (s.kind) {
+          case PathStep::Kind::Edge:
+            segments += topo.edge(s.id).segments;
+            break;
+          case PathStep::Kind::Junction:
+            ++junctions;
+            break;
+          case PathStep::Kind::ThroughTrap:
+            ++throughTraps;
+            break;
+        }
+    }
 }
 
 namespace
@@ -56,7 +48,8 @@ PathFinder::PathFinder(const Topology &topo, const PathCost &cost)
 {
     fatalUnless(topo.trapCount() >= 1, "topology has no traps");
     fatalUnless(topo.isConnected(), "topology must be connected");
-    paths_.resize(topo.trapCount());
+    paths_.resize(static_cast<size_t>(topo.trapCount()) *
+                  topo.trapCount());
     for (TrapId t = 0; t < topo.trapCount(); ++t)
         computeFrom(t, cost);
 }
@@ -98,9 +91,9 @@ PathFinder::computeFrom(TrapId src, const PathCost &cost)
         }
     }
 
-    paths_[src].resize(topo_.trapCount());
+    const size_t row = static_cast<size_t>(src) * topo_.trapCount();
     for (TrapId t = 0; t < topo_.trapCount(); ++t) {
-        Path &p = paths_[src][t];
+        Path &p = paths_[row + t];
         p.src = source;
         p.dst = topo_.trapNode(t);
         p.cost = dist[p.dst];
@@ -125,6 +118,7 @@ PathFinder::computeFrom(TrapId src, const PathCost &cost)
             cur = prev;
         }
         p.steps.assign(reversed.rbegin(), reversed.rend());
+        p.finalizeCounts(topo_);
     }
 }
 
@@ -133,7 +127,7 @@ PathFinder::path(TrapId a, TrapId b) const
 {
     panicUnless(a >= 0 && a < topo_.trapCount() && b >= 0 &&
                 b < topo_.trapCount(), "trap index out of range");
-    return paths_[a][b];
+    return paths_[static_cast<size_t>(a) * topo_.trapCount() + b];
 }
 
 double

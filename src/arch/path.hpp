@@ -54,21 +54,36 @@ struct Path
     std::vector<PathStep> steps;
     double cost = 0; ///< routing cost (us estimate)
 
+    /**
+     * Step-kind totals, computed once when the path is built so hot
+     * scheduler queries never rescan `steps`. @{
+     */
+    int throughTraps = 0; ///< intermediate traps passed through
+    int junctions = 0;    ///< junction crossings
+    int segments = 0;     ///< transport segments covered
+    /** @} */
+
+    /** Recompute the cached step totals from `steps`. */
+    void finalizeCounts(const Topology &topo);
+
     /** Number of intermediate traps passed through. */
-    int throughTrapCount() const;
+    int throughTrapCount() const { return throughTraps; }
 
     /** Number of junction crossings. */
-    int junctionCount() const;
+    int junctionCount() const { return junctions; }
 
     /** Total segments moved across. */
-    int segmentCount(const Topology &topo) const;
+    int segmentCount() const { return segments; }
 };
 
 /**
  * All-pairs trap-to-trap shortest paths, precomputed with Dijkstra.
  *
  * Paths are deterministic: ties break toward lower node ids so repeated
- * runs produce identical schedules.
+ * runs produce identical schedules. The matrix is stored as one
+ * contiguous trap*trap block for locality, and a finished PathFinder is
+ * immutable, so one instance can be shared by any number of concurrent
+ * schedulers (see ToolflowContext / SweepEngine).
  */
 class PathFinder
 {
@@ -83,7 +98,7 @@ class PathFinder
 
   private:
     const Topology &topo_;
-    std::vector<std::vector<Path>> paths_; // [srcTrap][dstTrap]
+    std::vector<Path> paths_; // contiguous [srcTrap * trapCount + dstTrap]
 
     void computeFrom(TrapId src, const PathCost &cost);
 };

@@ -23,12 +23,38 @@ Scheduler::pathCostFrom(const HardwareParams &hw)
 
 Scheduler::Scheduler(const Circuit &circuit, const Topology &topo,
                      const HardwareParams &hw, ScheduleOptions options)
+    : Scheduler(circuit, topo, hw,
+                std::make_unique<PathFinder>(topo, pathCostFrom(hw)),
+                options)
+{
+}
+
+Scheduler::Scheduler(const Circuit &circuit, const Topology &topo,
+                     const HardwareParams &hw,
+                     std::unique_ptr<PathFinder> owned,
+                     ScheduleOptions options)
     : circuit_(circuit), topo_(topo), hw_(hw), options_(options),
-      paths_(topo, pathCostFrom(hw)), router_(topo, paths_),
+      ownedPaths_(std::move(owned)), paths_(*ownedPaths_),
+      router_(topo, paths_), state_(topo, circuit.numQubits())
+{
+    validateAndInitEmitter();
+}
+
+Scheduler::Scheduler(const Circuit &circuit, const Topology &topo,
+                     const HardwareParams &hw, const PathFinder &paths,
+                     ScheduleOptions options)
+    : circuit_(circuit), topo_(topo), hw_(hw), options_(options),
+      paths_(paths), router_(topo, paths_),
       state_(topo, circuit.numQubits())
 {
+    validateAndInitEmitter();
+}
+
+void
+Scheduler::validateAndInitEmitter()
+{
     hw_.validate();
-    for (const Gate &g : circuit.gates()) {
+    for (const Gate &g : circuit_.gates()) {
         fatalUnless(isNative(g.op) || g.op == Op::Barrier,
                     "scheduler requires the native gate set; lower with "
                     "decomposeToNative() (found " + g.toString() + ")");
@@ -44,6 +70,17 @@ Scheduler::buildQueues()
 {
     qubitGates_.assign(circuit_.numQubits(), {});
     qubitNext_.assign(circuit_.numQubits(), 0);
+    std::vector<size_t> perQubit(circuit_.numQubits(), 0);
+    for (size_t gi = 0; gi < circuit_.size(); ++gi) {
+        const Gate &g = circuit_.gate(gi);
+        if (g.op == Op::Barrier)
+            continue;
+        ++perQubit[g.q0];
+        if (g.isTwoQubit())
+            ++perQubit[g.q1];
+    }
+    for (QubitId q = 0; q < circuit_.numQubits(); ++q)
+        qubitGates_[q].reserve(perQubit[q]);
     for (size_t gi = 0; gi < circuit_.size(); ++gi) {
         const Gate &g = circuit_.gate(gi);
         if (g.op == Op::Barrier)
@@ -109,18 +146,22 @@ Scheduler::run()
     buildQueues();
     placeInitialLayout();
 
+    size_t total = 0;
+    for (size_t gi = 0; gi < circuit_.size(); ++gi)
+        if (circuit_.gate(gi).op != Op::Barrier)
+            ++total;
+
     // Lazy min-heap of (readyTime, gate index); stale keys reinserted.
     using Entry = std::pair<TimeUs, size_t>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<Entry> heapStorage;
+    heapStorage.reserve(total + 1);
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap(
+        std::greater<>{}, std::move(heapStorage));
     for (size_t gi = 0; gi < circuit_.size(); ++gi)
         if (circuit_.gate(gi).op != Op::Barrier && gateReady(gi))
             heap.emplace(gateReadyTime(gi), gi);
 
     size_t executed = 0;
-    size_t total = 0;
-    for (size_t gi = 0; gi < circuit_.size(); ++gi)
-        if (circuit_.gate(gi).op != Op::Barrier)
-            ++total;
 
     while (!heap.empty()) {
         const auto [key, gi] = heap.top();

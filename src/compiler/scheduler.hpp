@@ -68,16 +68,36 @@ class Scheduler
     Scheduler(const Circuit &circuit, const Topology &topo,
               const HardwareParams &hw, ScheduleOptions options = {});
 
+    /**
+     * Like the owning constructor, but routes over a prebuilt all-pairs
+     * @p paths instead of recomputing Dijkstra per scheduler. The paths
+     * must have been built over @p topo with pathCostFrom(@p hw) (what
+     * ToolflowContext does) and must outlive the scheduler; one
+     * PathFinder may be shared by many concurrent schedulers.
+     */
+    Scheduler(const Circuit &circuit, const Topology &topo,
+              const HardwareParams &hw, const PathFinder &paths,
+              ScheduleOptions options = {});
+
     /** Run the full schedule; callable once. */
     ScheduleResult run();
 
+    /** Routing cost weights implied by @p hw (shared with contexts). */
+    static PathCost pathCostFrom(const HardwareParams &hw);
+
   private:
+    /** Owning delegate: keeps @p owned alive and routes over it. */
+    Scheduler(const Circuit &circuit, const Topology &topo,
+              const HardwareParams &hw,
+              std::unique_ptr<PathFinder> owned, ScheduleOptions options);
+
     const Circuit &circuit_;
     const Topology &topo_;
     HardwareParams hw_;
     ScheduleOptions options_;
 
-    PathFinder paths_;
+    std::unique_ptr<PathFinder> ownedPaths_; ///< only when not shared
+    const PathFinder &paths_;
     Router router_;
     DeviceState state_;
     ScheduleResult result_;
@@ -89,6 +109,7 @@ class Scheduler
 
     bool ran_ = false;
 
+    void validateAndInitEmitter();
     void buildQueues();
     void placeInitialLayout();
 
@@ -117,8 +138,6 @@ class Scheduler
 
     /** Make room in @p dest by evicting its least-needed ion. */
     void evictFrom(TrapId dest, IonId keep, TimeUs ready);
-
-    static PathCost pathCostFrom(const HardwareParams &hw);
 };
 
 } // namespace qccd

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "core/sweep_engine.hpp"
 
 namespace qccd
 {
@@ -16,9 +17,14 @@ CandidateSpace::size() const
 }
 
 std::vector<RankedDesign>
-rankDesigns(const Circuit &circuit, const CandidateSpace &space)
+rankDesigns(const Circuit &circuit, const CandidateSpace &space,
+            int jobs)
 {
-    std::vector<RankedDesign> ranking;
+    SweepEngine engine(jobs);
+    const auto native = SweepEngine::lower(circuit);
+
+    std::vector<SweepJob> batch;
+    batch.reserve(space.size());
     for (const std::string &topo : space.topologies) {
         for (int cap : space.capacities) {
             for (GateImpl gate : space.gates) {
@@ -28,19 +34,29 @@ rankDesigns(const Circuit &circuit, const CandidateSpace &space)
                     dp.trapCapacity = cap;
                     dp.hw.gateImpl = gate;
                     dp.hw.reorder = reorder;
-                    if (dp.buildTopology().totalCapacity() <
+                    // The shared context also answers the fit check
+                    // without building a throwaway topology per
+                    // candidate.
+                    if (engine.context(dp)->topology().totalCapacity() <
                         circuit.numQubits())
                         continue; // application does not fit
-                    RankedDesign entry;
-                    entry.design = dp;
-                    entry.result = runToolflow(circuit, dp);
-                    ranking.push_back(std::move(entry));
+                    SweepJob job;
+                    job.application = circuit.name();
+                    job.native = native;
+                    job.design = dp;
+                    batch.push_back(std::move(job));
                 }
             }
         }
     }
-    fatalUnless(!ranking.empty(),
+    fatalUnless(!batch.empty(),
                 "no candidate design fits the application");
+
+    const std::vector<SweepPoint> points = engine.run(batch);
+    std::vector<RankedDesign> ranking;
+    ranking.reserve(points.size());
+    for (const SweepPoint &p : points)
+        ranking.push_back(RankedDesign{p.design, p.result});
 
     std::stable_sort(ranking.begin(), ranking.end(),
                      [](const RankedDesign &a, const RankedDesign &b) {
@@ -53,9 +69,10 @@ rankDesigns(const Circuit &circuit, const CandidateSpace &space)
 }
 
 RankedDesign
-recommendDesign(const Circuit &circuit, const CandidateSpace &space)
+recommendDesign(const Circuit &circuit, const CandidateSpace &space,
+                int jobs)
 {
-    return rankDesigns(circuit, space).front();
+    return rankDesigns(circuit, space, jobs).front();
 }
 
 std::string

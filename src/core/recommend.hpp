@@ -50,14 +50,21 @@ struct CandidateSpace
  * first (highest fidelity; runtime breaks ties). Candidates the circuit
  * does not fit on are skipped.
  *
+ * Candidates are evaluated through a SweepEngine: the circuit is
+ * lowered once, architecture state is shared between candidates, and
+ * evaluation runs on @p jobs workers (<= 0: QCCD_JOBS env, default
+ * hardware concurrency). The ranking is identical for any job count.
+ *
  * @throws ConfigError when no candidate fits the application
  */
 std::vector<RankedDesign> rankDesigns(const Circuit &circuit,
-                                      const CandidateSpace &space);
+                                      const CandidateSpace &space,
+                                      int jobs = 0);
 
 /** Convenience: the best design for @p circuit over @p space. */
 RankedDesign recommendDesign(const Circuit &circuit,
-                             const CandidateSpace &space = {});
+                             const CandidateSpace &space = {},
+                             int jobs = 0);
 
 /** Render the top @p show rows of a ranking as a table. */
 std::string rankingTable(const std::vector<RankedDesign> &ranking,

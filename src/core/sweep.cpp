@@ -1,6 +1,6 @@
 #include "core/sweep.hpp"
 
-#include "benchgen/benchgen.hpp"
+#include "core/sweep_engine.hpp"
 
 namespace qccd
 {
@@ -12,24 +12,35 @@ paperCapacities()
 }
 
 std::vector<SweepPoint>
+sweepCapacity(SweepEngine &engine, const std::vector<std::string> &apps,
+              const std::vector<int> &capacities,
+              const std::function<DesignPoint(int)> &make_design,
+              const RunOptions &options)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(apps.size() * capacities.size());
+    for (const std::string &app : apps) {
+        const auto native = engine.nativeBenchmark(app);
+        for (int cap : capacities) {
+            SweepJob job;
+            job.application = app;
+            job.native = native;
+            job.design = make_design(cap);
+            job.options = options;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return engine.run(jobs);
+}
+
+std::vector<SweepPoint>
 sweepCapacity(const std::vector<std::string> &apps,
               const std::vector<int> &capacities,
               const std::function<DesignPoint(int)> &make_design,
               const RunOptions &options)
 {
-    std::vector<SweepPoint> points;
-    points.reserve(apps.size() * capacities.size());
-    for (const std::string &app : apps) {
-        const Circuit circuit = makeBenchmark(app);
-        for (int cap : capacities) {
-            SweepPoint point;
-            point.application = app;
-            point.design = make_design(cap);
-            point.result = runToolflow(circuit, point.design, options);
-            points.push_back(std::move(point));
-        }
-    }
-    return points;
+    SweepEngine engine;
+    return sweepCapacity(engine, apps, capacities, make_design, options);
 }
 
 } // namespace qccd

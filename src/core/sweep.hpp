@@ -19,6 +19,8 @@
 namespace qccd
 {
 
+class SweepEngine;
+
 /** One sweep sample. */
 struct SweepPoint
 {
@@ -33,6 +35,12 @@ std::vector<int> paperCapacities();
 /**
  * Run @p make_design over every (application, capacity) pair.
  *
+ * Evaluation goes through a SweepEngine: points run across a worker
+ * pool (sized by QCCD_JOBS, default hardware concurrency) with each
+ * application lowered once and Topology/PathFinder state shared between
+ * points of the same architecture. Results are in (app, capacity)
+ * order regardless of worker count.
+ *
  * @param apps application names resolved via makeBenchmark()
  * @param capacities trap capacities to sweep
  * @param make_design builds the design point for one capacity
@@ -40,6 +48,17 @@ std::vector<int> paperCapacities();
  */
 std::vector<SweepPoint>
 sweepCapacity(const std::vector<std::string> &apps,
+              const std::vector<int> &capacities,
+              const std::function<DesignPoint(int)> &make_design,
+              const RunOptions &options = {});
+
+/**
+ * Like sweepCapacity above but reuses a caller-owned @p engine, so
+ * consecutive sweeps (e.g. Fig. 7's linear and grid passes) share the
+ * engine's circuit and context caches.
+ */
+std::vector<SweepPoint>
+sweepCapacity(SweepEngine &engine, const std::vector<std::string> &apps,
               const std::vector<int> &capacities,
               const std::function<DesignPoint(int)> &make_design,
               const RunOptions &options = {});

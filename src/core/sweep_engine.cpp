@@ -1,0 +1,113 @@
+#include "core/sweep_engine.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/decompose.hpp"
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+int
+SweepEngine::resolveJobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("QCCD_JOBS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0)
+            return parsed;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepEngine::SweepEngine(int jobs) : jobs_(resolveJobs(jobs))
+{
+}
+
+std::shared_ptr<const Circuit>
+SweepEngine::lower(const Circuit &circuit)
+{
+    return std::make_shared<const Circuit>(decomposeToNative(circuit));
+}
+
+std::shared_ptr<const Circuit>
+SweepEngine::nativeBenchmark(const std::string &app)
+{
+    auto it = circuits_.find(app);
+    if (it == circuits_.end())
+        it = circuits_.emplace(app, lower(makeBenchmark(app))).first;
+    return it->second;
+}
+
+std::shared_ptr<const ToolflowContext>
+SweepEngine::context(const DesignPoint &design)
+{
+    const std::string key = ToolflowContext::cacheKey(design);
+    auto it = contexts_.find(key);
+    if (it == contexts_.end())
+        it = contexts_
+                 .emplace(key, std::make_shared<const ToolflowContext>(
+                                   design))
+                 .first;
+    return it->second;
+}
+
+std::vector<SweepPoint>
+SweepEngine::run(const std::vector<SweepJob> &batch)
+{
+    // Populate the context cache serially so the workers only ever read
+    // shared state; each job's context is pinned by index.
+    std::vector<std::shared_ptr<const ToolflowContext>> jobContexts;
+    jobContexts.reserve(batch.size());
+    for (const SweepJob &job : batch) {
+        fatalUnless(job.native != nullptr,
+                    "sweep job '" + job.application +
+                        "' has no lowered circuit");
+        jobContexts.push_back(context(job.design));
+    }
+
+    std::vector<SweepPoint> points(batch.size());
+    std::vector<std::exception_ptr> errors(batch.size());
+    std::atomic<size_t> next{0};
+
+    auto worker = [&]() {
+        for (size_t i = next.fetch_add(1); i < batch.size();
+             i = next.fetch_add(1)) {
+            const SweepJob &job = batch[i];
+            try {
+                points[i].application = job.application;
+                points[i].design = job.design;
+                points[i].result = runToolflow(
+                    *job.native, job.design, *jobContexts[i], job.options);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const size_t workers =
+        std::min(static_cast<size_t>(jobs_), batch.size());
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (size_t w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (const std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+    return points;
+}
+
+} // namespace qccd

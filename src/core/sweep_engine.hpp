@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parallel design-space sweep engine.
+ *
+ * The paper's headline artifact is a sweep: applications x capacities x
+ * topologies x gate implementations (Figs. 6-8). Evaluating points
+ * serially wastes both redundant work (the same application is lowered
+ * once per point, the same Topology and all-pairs PathFinder rebuilt
+ * for dozens of points that share an architecture) and the machine's
+ * cores. The engine eliminates both:
+ *
+ *  - a native-circuit cache lowers each application exactly once per
+ *    sweep (decomposeToNative is deterministic, so the cached circuit
+ *    is identical to a per-point lowering);
+ *  - a ToolflowContext cache builds one Topology + PathFinder per
+ *    distinct architecture (keyed by ToolflowContext::cacheKey);
+ *  - a fixed-size std::thread worker pool pulls point indices off a
+ *    shared atomic counter and writes results into preallocated slots,
+ *    so the result vector is in input order and bit-identical for any
+ *    worker count (jobs=1 included).
+ *
+ * Both caches hold state that is immutable after construction, and the
+ * caches themselves are populated before any worker starts, so workers
+ * share everything without locks.
+ */
+
+#ifndef QCCD_CORE_SWEEP_ENGINE_HPP
+#define QCCD_CORE_SWEEP_ENGINE_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "core/toolflow.hpp"
+
+namespace qccd
+{
+
+/** One design point queued for evaluation. */
+struct SweepJob
+{
+    /** Label recorded in the resulting SweepPoint. */
+    std::string application;
+
+    /** Lowered circuit (native gate set); see SweepEngine::nativeBenchmark. */
+    std::shared_ptr<const Circuit> native;
+
+    DesignPoint design;
+    RunOptions options;
+};
+
+/** Parallel evaluator for batches of design points. */
+class SweepEngine
+{
+  public:
+    /**
+     * @param jobs worker count; <= 0 resolves via resolveJobs(): the
+     *        QCCD_JOBS environment variable if set, otherwise
+     *        std::thread::hardware_concurrency()
+     */
+    explicit SweepEngine(int jobs = 0);
+
+    /** The resolved worker count (>= 1). */
+    int jobs() const { return jobs_; }
+
+    /**
+     * The lowered circuit for Table II application @p app, cached per
+     * engine so a sweep lowers each application exactly once.
+     */
+    std::shared_ptr<const Circuit> nativeBenchmark(const std::string &app);
+
+    /** Lower an arbitrary @p circuit into a shareable job input. */
+    static std::shared_ptr<const Circuit> lower(const Circuit &circuit);
+
+    /**
+     * The shared Topology + PathFinder for @p design, cached per engine
+     * under ToolflowContext::cacheKey. Not thread-safe: populate from
+     * the sweep thread (run() does this for its whole batch up front).
+     */
+    std::shared_ptr<const ToolflowContext> context(const DesignPoint &design);
+
+    /**
+     * Evaluate every job across the worker pool.
+     *
+     * Results are returned in input order and are bit-identical for any
+     * worker count. If any job throws, the remaining jobs still run and
+     * the lowest-indexed exception is rethrown.
+     */
+    std::vector<SweepPoint> run(const std::vector<SweepJob> &batch);
+
+    /** Resolve a requested worker count (see the constructor). */
+    static int resolveJobs(int requested);
+
+  private:
+    int jobs_;
+    std::map<std::string, std::shared_ptr<const Circuit>> circuits_;
+    std::map<std::string, std::shared_ptr<const ToolflowContext>> contexts_;
+};
+
+} // namespace qccd
+
+#endif // QCCD_CORE_SWEEP_ENGINE_HPP

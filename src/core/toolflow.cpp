@@ -1,6 +1,7 @@
 #include "core/toolflow.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "circuit/decompose.hpp"
 
@@ -13,44 +14,81 @@ RunResult::communicationTime() const
     return std::max(sim.makespan - computeOnlyTime, 0.0);
 }
 
-RunResult
-runToolflow(const Circuit &circuit, const DesignPoint &design,
-            const RunOptions &options)
+ToolflowContext::ToolflowContext(const DesignPoint &design)
+    : topo_(std::make_unique<const Topology>(design.buildTopology())),
+      paths_(std::make_unique<const PathFinder>(
+          *topo_, Scheduler::pathCostFrom(design.hw)))
 {
-    const Circuit native = decomposeToNative(circuit);
-    const Topology topo = design.buildTopology();
+}
 
+std::string
+ToolflowContext::cacheKey(const DesignPoint &design)
+{
+    const ShuttleTimeModel &s = design.hw.shuttle;
+    std::ostringstream key;
+    key.precision(17);
+    key << design.topologySpec << '|' << design.trapCapacity << '|'
+        << s.movePerSegment << '|' << s.split << '|' << s.merge << '|'
+        << s.yJunction << '|' << s.xJunction;
+    return key.str();
+}
+
+RunResult
+runToolflow(const Circuit &native, const DesignPoint &design,
+            const ToolflowContext &context, const RunOptions &options)
+{
     RunResult result;
     {
         ScheduleOptions sched;
         sched.collectTrace = options.collectTrace;
         sched.mappingPolicy = options.mappingPolicy;
-        Scheduler scheduler(native, topo, design.hw, sched);
+        Scheduler scheduler(native, context.topology(), design.hw,
+                            context.paths(), sched);
         result.sim = scheduler.run().metrics;
     }
     if (options.decomposeRuntime) {
         // Second pass with shuttling idealized to zero duration yields
         // the pure computation critical path; the difference is the
-        // communication share (Fig. 6b's decomposition).
+        // communication share (Fig. 6b's decomposition). The pass
+        // reuses the lowered circuit and the shared context: only the
+        // schedule itself is recomputed.
         ScheduleOptions sched;
         sched.collectTrace = false;
         sched.zeroCommTimes = true;
         sched.mappingPolicy = options.mappingPolicy;
-        Scheduler scheduler(native, topo, design.hw, sched);
+        Scheduler scheduler(native, context.topology(), design.hw,
+                            context.paths(), sched);
         result.computeOnlyTime = scheduler.run().metrics.makespan;
     }
     return result;
+}
+
+RunResult
+runToolflow(const Circuit &circuit, const DesignPoint &design,
+            const RunOptions &options)
+{
+    const Circuit native = decomposeToNative(circuit);
+    const ToolflowContext context(design);
+    return runToolflow(native, design, context, options);
+}
+
+ScheduleResult
+runToolflowDetailed(const Circuit &native, const DesignPoint &design,
+                    const ToolflowContext &context)
+{
+    ScheduleOptions sched;
+    sched.collectTrace = true;
+    Scheduler scheduler(native, context.topology(), design.hw,
+                        context.paths(), sched);
+    return scheduler.run();
 }
 
 ScheduleResult
 runToolflowDetailed(const Circuit &circuit, const DesignPoint &design)
 {
     const Circuit native = decomposeToNative(circuit);
-    const Topology topo = design.buildTopology();
-    ScheduleOptions sched;
-    sched.collectTrace = true;
-    Scheduler scheduler(native, topo, design.hw, sched);
-    return scheduler.run();
+    const ToolflowContext context(design);
+    return runToolflowDetailed(native, design, context);
 }
 
 } // namespace qccd

@@ -9,6 +9,9 @@
 #ifndef QCCD_CORE_TOOLFLOW_HPP
 #define QCCD_CORE_TOOLFLOW_HPP
 
+#include <memory>
+#include <string>
+
 #include "circuit/circuit.hpp"
 #include "compiler/scheduler.hpp"
 #include "core/design_point.hpp"
@@ -44,9 +47,44 @@ struct RunOptions
 };
 
 /**
+ * Immutable per-architecture state shared across toolflow runs: the
+ * built Topology and the all-pairs shuttle PathFinder over it.
+ *
+ * Building these dominates the fixed cost of a toolflow invocation, yet
+ * every design point that shares a topology spec, capacity, and shuttle
+ * timing produces identical copies. A context is constructed once per
+ * distinct architecture (see SweepEngine's cache) and is safe to share
+ * between concurrent schedulers: everything inside is read-only after
+ * construction. Both members live behind stable pointers so contexts
+ * can be moved around while schedulers hold references into them.
+ */
+class ToolflowContext
+{
+  public:
+    explicit ToolflowContext(const DesignPoint &design);
+
+    const Topology &topology() const { return *topo_; }
+    const PathFinder &paths() const { return *paths_; }
+
+    /**
+     * Cache key covering every input the context depends on: the
+     * topology spec, trap capacity, and the shuttle timings that feed
+     * the routing cost. Designs with equal keys can share a context.
+     */
+    static std::string cacheKey(const DesignPoint &design);
+
+  private:
+    std::unique_ptr<const Topology> topo_;
+    std::unique_ptr<const PathFinder> paths_;
+};
+
+/**
  * Run @p circuit (any supported gate set) on @p design.
  *
- * The circuit is lowered with decomposeToNative() internally.
+ * The circuit is lowered with decomposeToNative() internally and the
+ * architecture context is built on the spot. Sweeps evaluating many
+ * points should lower once and share contexts via the overload below
+ * (that is what SweepEngine automates).
  *
  * @throws ConfigError when the application does not fit the device or
  *         the configuration is invalid
@@ -55,11 +93,28 @@ RunResult runToolflow(const Circuit &circuit, const DesignPoint &design,
                       const RunOptions &options = {});
 
 /**
+ * Run @p native (already lowered with decomposeToNative()) on
+ * @p design, reusing the prebuilt @p context.
+ *
+ * @p context must have been built for a design with the same
+ * ToolflowContext::cacheKey() as @p design. Thread-safe with respect
+ * to other runs sharing the same context and circuit.
+ */
+RunResult runToolflow(const Circuit &native, const DesignPoint &design,
+                      const ToolflowContext &context,
+                      const RunOptions &options = {});
+
+/**
  * Like runToolflow but also returns the full schedule (trace and
  * mapping) for inspection; always collects the trace.
  */
 ScheduleResult runToolflowDetailed(const Circuit &circuit,
                                    const DesignPoint &design);
+
+/** Context-sharing variant of runToolflowDetailed (@p native lowered). */
+ScheduleResult runToolflowDetailed(const Circuit &native,
+                                   const DesignPoint &design,
+                                   const ToolflowContext &context);
 
 } // namespace qccd
 

@@ -24,6 +24,7 @@
 #include "compiler/mapping.hpp"
 #include "core/recommend.hpp"
 #include "core/report.hpp"
+#include "core/sweep_engine.hpp"
 #include "core/toolflow.hpp"
 #include "sim/analysis.hpp"
 #include "sim/checker.hpp"
@@ -51,6 +52,8 @@ printUsage()
         "  --analyze         print per-resource utilization report\n"
         "  --emit-isa FILE   write the compiled QCCD executable\n"
         "  --recommend       rank the paper's design space for the app\n"
+        "  --jobs N          worker threads for --recommend sweeps\n"
+        "                    (default: QCCD_JOBS env, then all cores)\n"
         "  --list            list available benchmark applications\n";
 }
 
@@ -68,6 +71,7 @@ main(int argc, char **argv)
     int trace_ops = 0;
     bool analyze = false;
     bool recommend = false;
+    int jobs = 0; // 0: resolve via QCCD_JOBS / hardware concurrency
     std::string isa_file;
 
     try {
@@ -76,6 +80,22 @@ main(int argc, char **argv)
             auto value = [&]() -> std::string {
                 fatalUnless(i + 1 < argc, "missing value for " + arg);
                 return argv[++i];
+            };
+            auto intValue = [&]() -> int {
+                const std::string text = value();
+                try {
+                    size_t used = 0;
+                    const int parsed = std::stoi(text, &used);
+                    fatalUnless(used == text.size(),
+                                "expected an integer for " + arg +
+                                    ", got '" + text + "'");
+                    return parsed;
+                } catch (const QccdError &) {
+                    throw;
+                } catch (const std::exception &) {
+                    throw ConfigError("expected an integer for " + arg +
+                                      ", got '" + text + "'");
+                }
             };
             if (arg == "--help" || arg == "-h") {
                 printUsage();
@@ -92,13 +112,13 @@ main(int argc, char **argv)
             } else if (arg == "--topology") {
                 design.topologySpec = value();
             } else if (arg == "--capacity") {
-                design.trapCapacity = std::stoi(value());
+                design.trapCapacity = intValue();
             } else if (arg == "--gate") {
                 design.hw.gateImpl = gateImplFromName(value());
             } else if (arg == "--reorder") {
                 design.hw.reorder = reorderMethodFromName(value());
             } else if (arg == "--buffer") {
-                design.hw.bufferSlots = std::stoi(value());
+                design.hw.bufferSlots = intValue();
             } else if (arg == "--policy") {
                 const std::string p = value();
                 if (p == "packed") {
@@ -113,12 +133,14 @@ main(int argc, char **argv)
                 analyze = true;
             } else if (arg == "--recommend") {
                 recommend = true;
+            } else if (arg == "--jobs") {
+                jobs = intValue();
             } else if (arg == "--emit-isa") {
                 isa_file = value();
             } else if (arg == "--decompose") {
                 options.decomposeRuntime = true;
             } else if (arg == "--trace") {
-                trace_ops = std::stoi(value());
+                trace_ops = intValue();
             } else {
                 std::cerr << "unknown option " << arg << "\n";
                 printUsage();
@@ -141,8 +163,9 @@ main(int argc, char **argv)
         if (recommend) {
             const CandidateSpace space;
             std::cout << "evaluating " << space.size()
-                      << " candidate designs...\n";
-            const auto ranking = rankDesigns(circuit, space);
+                      << " candidate designs on "
+                      << SweepEngine::resolveJobs(jobs) << " workers...\n";
+            const auto ranking = rankDesigns(circuit, space, jobs);
             std::cout << rankingTable(ranking, 10);
             std::cout << "recommended: "
                       << ranking.front().design.label() << "\n";

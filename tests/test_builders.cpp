@@ -105,5 +105,22 @@ TEST(Builders, SegmentsPerEdgeRespected)
         EXPECT_EQ(topo.edge(e).segments, 4);
 }
 
+TEST(Builders, SegmentSuffixSpecs)
+{
+    const Topology linear = makeFromSpec("linear:6:s4", 20);
+    EXPECT_EQ(linear.trapCount(), 6);
+    for (EdgeId e = 0; e < linear.edgeCount(); ++e)
+        EXPECT_EQ(linear.edge(e).segments, 4);
+
+    const Topology grid = makeFromSpec("grid:2x3:s2", 20);
+    EXPECT_EQ(grid.trapCount(), 6);
+    for (EdgeId e = 0; e < grid.edgeCount(); ++e)
+        EXPECT_EQ(grid.edge(e).segments, 2);
+
+    EXPECT_EQ(makeFromSpec("L6:s3", 20).edge(0).segments, 3);
+    EXPECT_THROW(makeFromSpec("linear:6:s", 20), ConfigError);
+    EXPECT_THROW(makeFromSpec("linear:6:s0", 20), ConfigError);
+}
+
 } // namespace
 } // namespace qccd

@@ -29,7 +29,7 @@ TEST(Path, DistantLinearTrapsPassThroughIntermediates)
     const Path &p = finder.path(0, 5);
     // Fig. 4: every intermediate trap costs a merge/reorder/split.
     EXPECT_EQ(p.throughTrapCount(), 4);
-    EXPECT_EQ(p.segmentCount(topo), 5);
+    EXPECT_EQ(p.segmentCount(), 5);
     EXPECT_EQ(p.junctionCount(), 0);
     EXPECT_DOUBLE_EQ(p.cost, 5 * 5.0 + 4 * PathCost{}.trapPassThrough);
 }
@@ -55,7 +55,7 @@ TEST(Path, GridSameColumnUsesOneJunction)
     const PathFinder finder(topo, PathCost{});
     const Path &p = finder.path(0, 3);
     EXPECT_EQ(p.junctionCount(), 1);
-    EXPECT_EQ(p.segmentCount(topo), 2);
+    EXPECT_EQ(p.segmentCount(), 2);
 }
 
 TEST(Path, GridCrossColumnCrossesRail)
@@ -65,7 +65,7 @@ TEST(Path, GridCrossColumnCrossesRail)
     // Trap 0 (row 0, col 0) to trap 5 (row 1, col 2): 3 junctions.
     const Path &p = finder.path(0, 5);
     EXPECT_EQ(p.junctionCount(), 3);
-    EXPECT_EQ(p.segmentCount(topo), 4);
+    EXPECT_EQ(p.segmentCount(), 4);
 }
 
 TEST(Path, SelfPathIsEmpty)

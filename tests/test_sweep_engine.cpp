@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: worker-count determinism, the
+ * shared-context fast path agreeing with the uncached toolflow, job
+ * resolution, and cache behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/decompose.hpp"
+#include "common/error.hpp"
+#include "core/sweep_engine.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+/** Field-by-field exact equality of two run results. */
+void
+expectIdenticalResults(const RunResult &a, const RunResult &b,
+                       const std::string &what)
+{
+    EXPECT_EQ(a.sim.makespan, b.sim.makespan) << what;
+    EXPECT_EQ(a.sim.logFidelity, b.sim.logFidelity) << what;
+    EXPECT_EQ(a.sim.zeroFidelityOps, b.sim.zeroFidelityOps) << what;
+    EXPECT_EQ(a.sim.maxChainEnergy, b.sim.maxChainEnergy) << what;
+    EXPECT_EQ(a.sim.sumBackgroundError, b.sim.sumBackgroundError) << what;
+    EXPECT_EQ(a.sim.sumMotionalError, b.sim.sumMotionalError) << what;
+    EXPECT_EQ(a.sim.computeBusy, b.sim.computeBusy) << what;
+    EXPECT_EQ(a.sim.commBusy, b.sim.commBusy) << what;
+    EXPECT_EQ(a.sim.effectiveBuffer, b.sim.effectiveBuffer) << what;
+    EXPECT_EQ(a.computeOnlyTime, b.computeOnlyTime) << what;
+
+    const OpCounts &ca = a.sim.counts;
+    const OpCounts &cb = b.sim.counts;
+    EXPECT_EQ(ca.algorithmMs, cb.algorithmMs) << what;
+    EXPECT_EQ(ca.reorderMs, cb.reorderMs) << what;
+    EXPECT_EQ(ca.oneQubit, cb.oneQubit) << what;
+    EXPECT_EQ(ca.measurements, cb.measurements) << what;
+    EXPECT_EQ(ca.splits, cb.splits) << what;
+    EXPECT_EQ(ca.merges, cb.merges) << what;
+    EXPECT_EQ(ca.moves, cb.moves) << what;
+    EXPECT_EQ(ca.segmentsMoved, cb.segmentsMoved) << what;
+    EXPECT_EQ(ca.junctionCrossings, cb.junctionCrossings) << what;
+    EXPECT_EQ(ca.rotations, cb.rotations) << what;
+    EXPECT_EQ(ca.transits, cb.transits) << what;
+    EXPECT_EQ(ca.shuttles, cb.shuttles) << what;
+    EXPECT_EQ(ca.evictions, cb.evictions) << what;
+    EXPECT_EQ(ca.trapPassThroughs, cb.trapPassThroughs) << what;
+}
+
+void
+expectIdenticalPoints(const std::vector<SweepPoint> &a,
+                      const std::vector<SweepPoint> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].application, b[i].application);
+        EXPECT_EQ(a[i].design.label(), b[i].design.label());
+        expectIdenticalResults(a[i].result, b[i].result,
+                               a[i].design.label());
+    }
+}
+
+/** A small mixed batch: two apps, two topologies, decompose pass on. */
+std::vector<SweepJob>
+smallBatch()
+{
+    std::vector<SweepJob> jobs;
+    RunOptions options;
+    options.decomposeRuntime = true;
+    for (const char *app : {"qft", "qaoa"}) {
+        const auto native =
+            SweepEngine::lower(makeBenchmarkSized(app, 16));
+        for (const std::string &spec : {std::string("linear:4"),
+                                        std::string("grid:2x2")}) {
+            for (int cap : {6, 8}) {
+                SweepJob job;
+                job.application = app;
+                job.native = native;
+                job.design.topologySpec = spec;
+                job.design.trapCapacity = cap;
+                job.options = options;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return jobs;
+}
+
+TEST(SweepEngine, DeterministicAcrossWorkerCounts)
+{
+    SweepEngine serial(1);
+    SweepEngine four(4);
+    SweepEngine hardware(static_cast<int>(std::max(
+        1u, std::thread::hardware_concurrency())));
+
+    const auto jobs = smallBatch();
+    const auto a = serial.run(jobs);
+    const auto b = four.run(jobs);
+    const auto c = hardware.run(jobs);
+
+    ASSERT_EQ(a.size(), 8u);
+    expectIdenticalPoints(a, b);
+    expectIdenticalPoints(a, c);
+}
+
+TEST(SweepEngine, RepeatedRunsOnOneEngineAreIdentical)
+{
+    SweepEngine engine(4);
+    const auto jobs = smallBatch();
+    expectIdenticalPoints(engine.run(jobs), engine.run(jobs));
+}
+
+TEST(SweepEngine, CachedAndUncachedToolflowAgreeForEveryAppAndGate)
+{
+    // The regression the caches must never introduce: for every
+    // application x gate implementation, the shared-context fast path
+    // must equal a from-scratch runToolflow bit for bit.
+    SweepEngine engine;
+    RunOptions options;
+    options.decomposeRuntime = true;
+    for (const BenchmarkSpec &spec : benchmarkList()) {
+        const Circuit app = makeBenchmarkSized(spec.name, 16);
+        const auto native = SweepEngine::lower(app);
+        for (GateImpl gate : {GateImpl::AM1, GateImpl::AM2, GateImpl::PM,
+                              GateImpl::FM}) {
+            DesignPoint dp = DesignPoint::linear(4, 8, gate);
+            const RunResult uncached = runToolflow(app, dp, options);
+            const RunResult cached = runToolflow(
+                *native, dp, *engine.context(dp), options);
+            expectIdenticalResults(uncached, cached,
+                                   spec.name + " " + dp.label());
+        }
+    }
+}
+
+TEST(SweepEngine, ContextCacheKeySeparatesArchitectures)
+{
+    const DesignPoint a = DesignPoint::linear(6, 22);
+    DesignPoint b = a;
+    EXPECT_EQ(ToolflowContext::cacheKey(a), ToolflowContext::cacheKey(b));
+
+    // Gate implementation and reorder method do not touch the
+    // architecture: contexts are shared across them.
+    b.hw.gateImpl = GateImpl::AM1;
+    b.hw.reorder = ReorderMethod::IS;
+    EXPECT_EQ(ToolflowContext::cacheKey(a), ToolflowContext::cacheKey(b));
+
+    // Topology, capacity, and shuttle timings do.
+    DesignPoint c = a;
+    c.trapCapacity = 14;
+    EXPECT_NE(ToolflowContext::cacheKey(a), ToolflowContext::cacheKey(c));
+    DesignPoint d = a;
+    d.topologySpec = "grid:2x3";
+    EXPECT_NE(ToolflowContext::cacheKey(a), ToolflowContext::cacheKey(d));
+    DesignPoint e = a;
+    e.hw.shuttle.movePerSegment = 7.5;
+    EXPECT_NE(ToolflowContext::cacheKey(a), ToolflowContext::cacheKey(e));
+}
+
+TEST(SweepEngine, ContextsAreSharedPerArchitecture)
+{
+    SweepEngine engine(1);
+    const DesignPoint fm = DesignPoint::linear(6, 22, GateImpl::FM);
+    const DesignPoint am1 = DesignPoint::linear(6, 22, GateImpl::AM1);
+    EXPECT_EQ(engine.context(fm).get(), engine.context(am1).get());
+
+    const DesignPoint other = DesignPoint::linear(6, 14);
+    EXPECT_NE(engine.context(fm).get(), engine.context(other).get());
+}
+
+TEST(SweepEngine, NativeBenchmarkIsLoweredOncePerApp)
+{
+    SweepEngine engine(1);
+    const auto first = engine.nativeBenchmark("bv");
+    const auto second = engine.nativeBenchmark("bv");
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(first->size(),
+              decomposeToNative(makeBenchmark("bv")).size());
+}
+
+TEST(SweepEngine, ResolveJobsPrefersExplicitThenEnvThenHardware)
+{
+    EXPECT_EQ(SweepEngine::resolveJobs(3), 3);
+
+    ASSERT_EQ(setenv("QCCD_JOBS", "5", 1), 0);
+    EXPECT_EQ(SweepEngine::resolveJobs(0), 5);
+    EXPECT_EQ(SweepEngine::resolveJobs(2), 2);
+
+    ASSERT_EQ(setenv("QCCD_JOBS", "garbage", 1), 0);
+    EXPECT_GE(SweepEngine::resolveJobs(0), 1);
+
+    ASSERT_EQ(unsetenv("QCCD_JOBS"), 0);
+    EXPECT_GE(SweepEngine::resolveJobs(0), 1);
+}
+
+TEST(SweepEngine, PropagatesJobErrorsAfterFinishingTheBatch)
+{
+    SweepEngine engine(2);
+    std::vector<SweepJob> jobs;
+    SweepJob bad;
+    bad.application = "qft";
+    bad.native = SweepEngine::lower(makeBenchmarkSized("qft", 16));
+    bad.design = DesignPoint::linear(2, 4); // capacity 8 < 16 qubits
+    jobs.push_back(bad);
+    EXPECT_THROW(engine.run(jobs), ConfigError);
+}
+
+TEST(SweepEngine, RejectsJobsWithoutLoweredCircuit)
+{
+    SweepEngine engine(1);
+    std::vector<SweepJob> jobs(1);
+    jobs[0].application = "empty";
+    jobs[0].design = DesignPoint::linear(2, 6);
+    EXPECT_THROW(engine.run(jobs), ConfigError);
+}
+
+} // namespace
+} // namespace qccd
