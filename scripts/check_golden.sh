@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Verify the figure benches still produce bit-identical metrics to the
+# committed golden CSVs (golden/). Any diff means a change altered the
+# simulator's arithmetic — intended metric changes must regenerate the
+# golden files in the same commit.
+#
+# Usage: scripts/check_golden.sh [BUILD_DIR]
+#
+#   BUILD_DIR  CMake build tree containing bench/ (default: build)
+#
+# The sweep engine's results are worker-count independent, so this
+# check passes for any QCCD_JOBS setting.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
+GOLDEN_DIR="$REPO_DIR/golden"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+    echo "error: $BUILD_DIR/bench not found — build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+BENCH_DIR=$(cd "$BUILD_DIR/bench" && pwd)
+
+shopt -s nullglob
+golden_files=("$GOLDEN_DIR"/*.csv)
+if [[ ${#golden_files[@]} -eq 0 ]]; then
+    echo "error: no golden CSVs found in $GOLDEN_DIR" >&2
+    exit 1
+fi
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+failures=0
+for golden_csv in "${golden_files[@]}"; do
+    name=$(basename "$golden_csv" .csv)
+    echo "== $name =="
+    if ! (cd "$scratch" && "$BENCH_DIR/$name" > "$name.log" 2>&1); then
+        echo "   FAILED to run (see $scratch/$name.log)" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if diff -u "$golden_csv" "$scratch/$name.csv" > "$scratch/$name.diff"; then
+        echo "   matches golden"
+    else
+        echo "   METRICS DIFFER from golden/$name.csv:" >&2
+        head -20 "$scratch/$name.diff" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+if [[ $failures -eq 0 ]]; then
+    echo "all figure bench outputs match the committed golden metrics"
+fi
+exit "$failures"

@@ -123,11 +123,37 @@ for name in "${ONLY[@]+"${ONLY[@]}"}"; do
     fi
 done
 
+# Per-point toolflow latency (microseconds): the BM_ToolflowPoint
+# real_time from the micro_models google-benchmark report, i.e. one
+# shared-context design-point evaluation including the two-pass runtime
+# decomposition. "null" when micro_models was not built or not run.
+toolflow_point_us=null
+if [[ -f "$OUT_DIR/BENCH_micro_models.json" ]]; then
+    extracted=$(awk '
+        /"name": "BM_ToolflowPoint"/ { found = 1 }
+        found && /"time_unit"/ {
+            gsub(/[",]/, ""); unit = $2
+        }
+        found && /"real_time"/ {
+            gsub(/,/, ""); rt = $2
+        }
+        found && rt != "" && unit != "" {
+            scale = 1
+            if (unit == "ms") scale = 1000
+            else if (unit == "s") scale = 1000000
+            else if (unit == "ns") scale = 0.001
+            printf "%.3f", rt * scale
+            exit
+        }' "$OUT_DIR/BENCH_micro_models.json")
+    [[ -n "$extracted" ]] && toolflow_point_us=$extracted
+fi
+
 # One aggregate record so the per-bench wall-time trajectory can be
 # diffed across PRs without opening every BENCH_*.json.
 {
     echo "{"
     echo "  \"jobs\": $jobs,"
+    echo "  \"toolflow_point_us\": $toolflow_point_us,"
     echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
     echo "  \"benches\": ["
     sep=""

@@ -33,52 +33,6 @@ opName(Op op)
     throw InternalError("unknown Op");
 }
 
-int
-opArity(Op op)
-{
-    if (op == Op::Barrier)
-        return 0;
-    return isTwoQubit(op) ? 2 : 1;
-}
-
-bool
-isTwoQubit(Op op)
-{
-    switch (op) {
-      case Op::CX:
-      case Op::CZ:
-      case Op::CPhase:
-      case Op::MS:
-      case Op::Swap:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-opHasParam(Op op)
-{
-    switch (op) {
-      case Op::RX:
-      case Op::RY:
-      case Op::RZ:
-      case Op::CPhase:
-      case Op::MS:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isNative(Op op)
-{
-    if (op == Op::MS || op == Op::Measure)
-        return true;
-    return !isTwoQubit(op) && op != Op::Barrier;
-}
-
 Gate
 Gate::one(Op op, QubitId q, double param)
 {
@@ -111,12 +65,6 @@ Gate::measure(QubitId q)
     g.op = Op::Measure;
     g.q0 = q;
     return g;
-}
-
-bool
-Gate::isOneQubit() const
-{
-    return opArity(op) == 1 && op != Op::Measure;
 }
 
 std::string

@@ -34,17 +34,55 @@ enum class Op
 /** Lowercase OpenQASM-style mnemonic ("cx", "rz", "ms", ...). */
 std::string opName(Op op);
 
-/** Number of qubit operands of @p op (Barrier reports 0). */
-int opArity(Op op);
-
 /** True if @p op is a two-qubit gate. */
-bool isTwoQubit(Op op);
+constexpr bool
+isTwoQubit(Op op)
+{
+    switch (op) {
+      case Op::CX:
+      case Op::CZ:
+      case Op::CPhase:
+      case Op::MS:
+      case Op::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Number of qubit operands of @p op (Barrier reports 0). */
+constexpr int
+opArity(Op op)
+{
+    if (op == Op::Barrier)
+        return 0;
+    return isTwoQubit(op) ? 2 : 1;
+}
 
 /** True if @p op takes an angle parameter (RX/RY/RZ/CPhase/MS). */
-bool opHasParam(Op op);
+constexpr bool
+opHasParam(Op op)
+{
+    switch (op) {
+      case Op::RX:
+      case Op::RY:
+      case Op::RZ:
+      case Op::CPhase:
+      case Op::MS:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** True if @p op is native to the QCCD trap ({1q, MS, Measure}). */
-bool isNative(Op op);
+constexpr bool
+isNative(Op op)
+{
+    if (op == Op::MS || op == Op::Measure)
+        return true;
+    return !isTwoQubit(op) && op != Op::Barrier;
+}
 
 /** One gate of the IR. */
 struct Gate
@@ -65,7 +103,7 @@ struct Gate
 
     bool isTwoQubit() const { return qccd::isTwoQubit(op); }
     bool isMeasure() const { return op == Op::Measure; }
-    bool isOneQubit() const;
+    bool isOneQubit() const { return opArity(op) == 1 && op != Op::Measure; }
 
     /** "cx q3, q7" style rendering for diagnostics. */
     std::string toString() const;

@@ -4,6 +4,18 @@ namespace qccd
 {
 
 void
+raiseConfigError(const char *msg)
+{
+    throw ConfigError(msg);
+}
+
+void
+raiseInternalError(const char *msg)
+{
+    throw InternalError(msg);
+}
+
+void
 fatalUnless(bool ok, const std::string &msg)
 {
     if (!ok)

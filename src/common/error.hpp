@@ -38,6 +38,11 @@ class InternalError : public QccdError
     explicit InternalError(const std::string &msg) : QccdError(msg) {}
 };
 
+/** Out-of-line throw helpers so the inline checks stay branch-only. @{ */
+[[noreturn]] void raiseConfigError(const char *msg);
+[[noreturn]] void raiseInternalError(const char *msg);
+/** @} */
+
 /**
  * Throw ConfigError when a user-facing precondition fails.
  *
@@ -47,12 +52,32 @@ class InternalError : public QccdError
 void fatalUnless(bool ok, const std::string &msg);
 
 /**
+ * Literal-message overload: checks in hot loops compile to a predicted
+ * branch plus a pointer, instead of materializing a std::string (a heap
+ * allocation) per call even when the condition holds.
+ */
+inline void
+fatalUnless(bool ok, const char *msg)
+{
+    if (!ok) [[unlikely]]
+        raiseConfigError(msg);
+}
+
+/**
  * Throw InternalError when an internal invariant fails.
  *
  * @param ok condition that must hold
  * @param msg description of the violated invariant
  */
 void panicUnless(bool ok, const std::string &msg);
+
+/** Literal-message overload (see fatalUnless above). */
+inline void
+panicUnless(bool ok, const char *msg)
+{
+    if (!ok) [[unlikely]]
+        raiseInternalError(msg);
+}
 
 } // namespace qccd
 

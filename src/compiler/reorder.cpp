@@ -8,23 +8,55 @@
 namespace qccd
 {
 
+namespace
+{
+
+/** Largest trap capacity in @p topo (chain lengths never exceed it+1). */
+int
+maxTrapCapacity(const Topology &topo)
+{
+    int max_cap = 0;
+    for (TrapId t = 0; t < topo.trapCount(); ++t)
+        max_cap = std::max(max_cap, topo.node(topo.trapNode(t)).capacity);
+    return max_cap;
+}
+
+} // namespace
+
 PrimitiveEmitter::PrimitiveEmitter(DeviceState &state,
                                    const HardwareParams &hw,
                                    SimResult &result, Trace *trace,
                                    bool zero_comm_times)
-    : state_(state), hw_(hw), gateTime_(hw.gateTimeModel()),
-      heating_(hw.heatingModel()), fidelity_(hw.fidelityModel()),
-      result_(result), trace_(trace), zeroComm_(zero_comm_times),
-      qubitReady_(state.numIons(), 0)
+    : state_(state), hw_(hw),
+      tables_(ModelTables::shared(hw,
+                                  maxTrapCapacity(state.topology()) + 1)),
+      heating_(hw.heatingModel()), result_(result), trace_(trace),
+      zeroComm_(zero_comm_times), qubitReady_(state.numIons(), 0)
 {
 }
 
 void
-PrimitiveEmitter::record(const PrimOp &op)
+PrimitiveEmitter::recordSimple(PrimKind kind, TimeUs start,
+                               TimeUs duration, TrapId trap, EdgeId edge,
+                               NodeId junction, IonId ion, QubitId q0,
+                               bool for_comm, double fid, double log_fid)
 {
-    result_.noteOp(op);
-    if (trace_ != nullptr)
+    result_.noteSimpleOp(kind, start + duration, duration, for_comm, fid,
+                         log_fid);
+    if (trace_ != nullptr) {
+        PrimOp op;
+        op.kind = kind;
+        op.start = start;
+        op.duration = duration;
+        op.trap = trap;
+        op.edge = edge;
+        op.junction = junction;
+        op.ion = ion;
+        op.q0 = q0;
+        op.fidelity = fid;
+        op.forCommunication = for_comm;
         trace_->push_back(op);
+    }
 }
 
 TimeUs
@@ -43,9 +75,10 @@ PrimitiveEmitter::emitMs(QubitId qa, QubitId qb, TimeUs ready,
     const int chain_len = state_.chain(t).size();
     const Quanta nbar = state_.energy(t);
 
-    TimeUs dur = gateTime_.twoQubit(separation, chain_len);
-    if (for_comm)
-        dur = commDur(dur);
+    // Fidelity uses the *physical* gate duration even when the
+    // decomposition mode zeroes schedule time.
+    const TimeUs phys_dur = tables_->twoQubit(separation, chain_len);
+    const TimeUs dur = for_comm ? commDur(phys_dur) : phys_dur;
 
     const TimeUs data_ready =
         std::max({ready, qubitReady_[qa], qubitReady_[qb]});
@@ -54,27 +87,30 @@ PrimitiveEmitter::emitMs(QubitId qa, QubitId qb, TimeUs ready,
     qubitReady_[qa] = end;
     qubitReady_[qb] = end;
 
-    // Fidelity uses the *physical* gate duration even when the
-    // decomposition mode zeroes schedule time.
-    const TimeUs phys_dur = gateTime_.twoQubit(separation, chain_len);
     const GateErrorBreakdown err =
-        fidelity_.twoQubitError(phys_dur, chain_len, nbar);
+        tables_->msError(phys_dur, chain_len, nbar);
+    const double fid = err.fidelity();
+    const double log_fid = std::log(std::max(fid, kMinFidelity));
 
-    PrimOp op;
-    op.kind = PrimKind::GateMS;
-    op.start = start;
-    op.duration = dur;
-    op.trap = t;
-    op.q0 = qa;
-    op.q1 = qb;
-    op.chainLength = chain_len;
-    op.separation = separation;
-    op.nbar = nbar;
-    op.errBackground = err.background;
-    op.errMotional = err.motional;
-    op.fidelity = err.fidelity();
-    op.forCommunication = for_comm;
-    record(op);
+    result_.noteMsOp(end, dur, for_comm, err.background, err.motional,
+                     fid, log_fid);
+    if (trace_ != nullptr) {
+        PrimOp op;
+        op.kind = PrimKind::GateMS;
+        op.start = start;
+        op.duration = dur;
+        op.trap = t;
+        op.q0 = qa;
+        op.q1 = qb;
+        op.chainLength = chain_len;
+        op.separation = separation;
+        op.nbar = nbar;
+        op.errBackground = err.background;
+        op.errMotional = err.motional;
+        op.fidelity = fid;
+        op.forCommunication = for_comm;
+        trace_->push_back(op);
+    }
     return end;
 }
 
@@ -85,19 +121,15 @@ PrimitiveEmitter::emitOneQubit(QubitId q, TimeUs ready)
     const TrapId t = state_.trapOf(ion);
     panicUnless(t != kInvalidId, "one-qubit gate on an in-flight ion");
 
-    const TimeUs dur = gateTime_.oneQubit();
+    const TimeUs dur = tables_->gateTime().oneQubit();
     const TimeUs start = state_.trapTimeline(t).acquire(
         std::max(ready, qubitReady_[q]), dur);
     qubitReady_[q] = start + dur;
 
-    PrimOp op;
-    op.kind = PrimKind::Gate1Q;
-    op.start = start;
-    op.duration = dur;
-    op.trap = t;
-    op.q0 = q;
-    op.fidelity = fidelity_.oneQubitFidelity();
-    record(op);
+    recordSimple(PrimKind::Gate1Q, start, dur, t, kInvalidId, kInvalidId,
+                 kInvalidId, q, false,
+                 tables_->fidelity().oneQubitFidelity(),
+                 tables_->logOneQubitFidelity());
     return start + dur;
 }
 
@@ -108,19 +140,15 @@ PrimitiveEmitter::emitMeasure(QubitId q, TimeUs ready)
     const TrapId t = state_.trapOf(ion);
     panicUnless(t != kInvalidId, "measurement of an in-flight ion");
 
-    const TimeUs dur = gateTime_.measure();
+    const TimeUs dur = tables_->gateTime().measure();
     const TimeUs start = state_.trapTimeline(t).acquire(
         std::max(ready, qubitReady_[q]), dur);
     qubitReady_[q] = start + dur;
 
-    PrimOp op;
-    op.kind = PrimKind::Measure;
-    op.start = start;
-    op.duration = dur;
-    op.trap = t;
-    op.q0 = q;
-    op.fidelity = fidelity_.measureFidelity();
-    record(op);
+    recordSimple(PrimKind::Measure, start, dur, t, kInvalidId,
+                 kInvalidId, kInvalidId, q, false,
+                 tables_->fidelity().measureFidelity(),
+                 tables_->logMeasureFidelity());
     return start + dur;
 }
 
@@ -155,15 +183,8 @@ PrimitiveEmitter::emitSplit(TrapId t, ChainEnd end, TimeUs ready,
     *out_ion = state_.detachEnd(t, end, ion_energy);
     panicUnless(*out_ion == ion, "split detached the wrong ion");
 
-    PrimOp op;
-    op.kind = PrimKind::Split;
-    op.start = start;
-    op.duration = dur;
-    op.trap = t;
-    op.ion = ion;
-    op.q0 = payload;
-    op.forCommunication = true;
-    record(op);
+    recordSimple(PrimKind::Split, start, dur, t, kInvalidId, kInvalidId,
+                 ion, payload, true, 1.0, tables_->logUnitFidelity());
     return start + dur;
 }
 
@@ -183,15 +204,8 @@ PrimitiveEmitter::emitMerge(TrapId t, ChainEnd end, IonId ion,
     state_.attachEnd(t, end, ion);
     state_.setEnergy(t, merged);
 
-    PrimOp op;
-    op.kind = PrimKind::Merge;
-    op.start = start;
-    op.duration = dur;
-    op.trap = t;
-    op.ion = ion;
-    op.q0 = payload;
-    op.forCommunication = true;
-    record(op);
+    recordSimple(PrimKind::Merge, start, dur, t, kInvalidId, kInvalidId,
+                 ion, payload, true, 1.0, tables_->logUnitFidelity());
     return start + dur;
 }
 
@@ -205,21 +219,12 @@ PrimitiveEmitter::emitMove(EdgeId e, IonId ion, TimeUs ready)
         std::max(ready, qubitReady_[payload]), dur);
     qubitReady_[payload] = start + dur;
 
-    Quanta energy = state_.flightEnergy(ion);
-    for (int s = 0; s < segments; ++s)
-        energy = heating_.afterMove(energy, 1);
-    state_.setFlightEnergy(ion, energy);
+    state_.setFlightEnergy(
+        ion, heating_.afterMoves(state_.flightEnergy(ion), segments));
     result_.counts.segmentsMoved += segments;
 
-    PrimOp op;
-    op.kind = PrimKind::Move;
-    op.start = start;
-    op.duration = dur;
-    op.edge = e;
-    op.ion = ion;
-    op.q0 = payload;
-    op.forCommunication = true;
-    record(op);
+    recordSimple(PrimKind::Move, start, dur, kInvalidId, e, kInvalidId,
+                 ion, payload, true, 1.0, tables_->logUnitFidelity());
     return start + dur;
 }
 
@@ -236,15 +241,9 @@ PrimitiveEmitter::emitJunction(NodeId n, IonId ion, TimeUs ready)
     state_.setFlightEnergy(ion,
                            heating_.afterJunction(state_.flightEnergy(ion)));
 
-    PrimOp op;
-    op.kind = PrimKind::JunctionCross;
-    op.start = start;
-    op.duration = dur;
-    op.junction = n;
-    op.ion = ion;
-    op.q0 = payload;
-    op.forCommunication = true;
-    record(op);
+    recordSimple(PrimKind::JunctionCross, start, dur, kInvalidId,
+                 kInvalidId, n, ion, payload, true, 1.0,
+                 tables_->logUnitFidelity());
     return start + dur;
 }
 
@@ -262,15 +261,9 @@ PrimitiveEmitter::emitTransit(TrapId t, IonId ion, TimeUs ready)
     state_.setFlightEnergy(ion,
                            heating_.afterMove(state_.flightEnergy(ion), 1));
 
-    PrimOp op;
-    op.kind = PrimKind::Transit;
-    op.start = start;
-    op.duration = dur;
-    op.trap = t;
-    op.ion = ion;
-    op.q0 = payload;
-    op.forCommunication = true;
-    record(op);
+    recordSimple(PrimKind::Transit, start, dur, t, kInvalidId,
+                 kInvalidId, ion, payload, true, 1.0,
+                 tables_->logUnitFidelity());
     return start + dur;
 }
 
@@ -296,28 +289,18 @@ PrimitiveEmitter::emitIonSwapHop(IonId ion, ChainEnd end, TimeUs ready)
         // The chain is reassembled below; meanwhile track both halves
         // summed at merge time. Stash the pair share through the
         // rotation via local bookkeeping.
-        PrimOp op;
-        op.kind = PrimKind::Split;
-        op.start = start;
-        op.duration = dur;
-        op.trap = t;
-        op.ion = ion;
-        op.forCommunication = true;
-        record(op);
+        recordSimple(PrimKind::Split, start, dur, t, kInvalidId,
+                     kInvalidId, ion, kInvalidId, true, 1.0,
+                     tables_->logUnitFidelity());
 
         // Rotation.
         const TimeUs rdur = commDur(hw_.shuttle.ionSwapRotation);
         const TimeUs rstart =
             state_.trapTimeline(t).acquire(t_flow, rdur);
         t_flow = rstart + rdur;
-        PrimOp rot;
-        rot.kind = PrimKind::Rotate;
-        rot.start = rstart;
-        rot.duration = rdur;
-        rot.trap = t;
-        rot.ion = ion;
-        rot.forCommunication = true;
-        record(rot);
+        recordSimple(PrimKind::Rotate, rstart, rdur, t, kInvalidId,
+                     kInvalidId, ion, kInvalidId, true, 1.0,
+                     tables_->logUnitFidelity());
 
         // Merge back.
         const TimeUs mdur = commDur(hw_.shuttle.merge);
@@ -325,27 +308,17 @@ PrimitiveEmitter::emitIonSwapHop(IonId ion, ChainEnd end, TimeUs ready)
             state_.trapTimeline(t).acquire(t_flow, mdur);
         t_flow = mstart + mdur;
         state_.setEnergy(t, heating_.afterMerge(rest, pair));
-        PrimOp mop;
-        mop.kind = PrimKind::Merge;
-        mop.start = mstart;
-        mop.duration = mdur;
-        mop.trap = t;
-        mop.ion = ion;
-        mop.forCommunication = true;
-        record(mop);
+        recordSimple(PrimKind::Merge, mstart, mdur, t, kInvalidId,
+                     kInvalidId, ion, kInvalidId, true, 1.0,
+                     tables_->logUnitFidelity());
     } else {
         const TimeUs rdur = commDur(hw_.shuttle.ionSwapRotation);
         const TimeUs rstart =
             state_.trapTimeline(t).acquire(t_flow, rdur);
         t_flow = rstart + rdur;
-        PrimOp rot;
-        rot.kind = PrimKind::Rotate;
-        rot.start = rstart;
-        rot.duration = rdur;
-        rot.trap = t;
-        rot.ion = ion;
-        rot.forCommunication = true;
-        record(rot);
+        recordSimple(PrimKind::Rotate, rstart, rdur, t, kInvalidId,
+                     kInvalidId, ion, kInvalidId, true, 1.0,
+                     tables_->logUnitFidelity());
     }
 
     // Physically exchange the ions and release both payloads at the

@@ -13,8 +13,10 @@
 #ifndef QCCD_COMPILER_REORDER_HPP
 #define QCCD_COMPILER_REORDER_HPP
 
+#include <memory>
 #include <vector>
 
+#include "models/model_tables.hpp"
 #include "models/params.hpp"
 #include "sim/device_state.hpp"
 #include "sim/metrics.hpp"
@@ -97,9 +99,14 @@ class PrimitiveEmitter
   private:
     DeviceState &state_;
     const HardwareParams &hw_;
-    GateTimeModel gateTime_;
+
+    /**
+     * Memoized models, shared read-only across all emitters with the
+     * same parameterization (sized to the device's largest trap plus
+     * one, since a linear pass-through can briefly exceed capacity).
+     */
+    std::shared_ptr<const ModelTables> tables_;
     HeatingModel heating_;
-    FidelityModel fidelity_;
     SimResult &result_;
     Trace *trace_;
     bool zeroComm_;
@@ -108,7 +115,15 @@ class PrimitiveEmitter
     /** Scale a communication duration per the decomposition mode. */
     TimeUs commDur(TimeUs d) const { return zeroComm_ ? 0.0 : d; }
 
-    void record(const PrimOp &op);
+    /**
+     * Fold a constant-fidelity primitive into the metrics (memoized
+     * log) and append it to the trace only when tracing is on — the
+     * no-trace schedule mode skips building the PrimOp entirely.
+     */
+    void recordSimple(PrimKind kind, TimeUs start, TimeUs duration,
+                      TrapId trap, EdgeId edge, NodeId junction,
+                      IonId ion, QubitId q0, bool for_comm, double fid,
+                      double log_fid);
 
     /** One IS hop: split/rotate/merge around the swapping pair. */
     TimeUs emitIonSwapHop(IonId ion, ChainEnd end, TimeUs ready);

@@ -1,7 +1,8 @@
 #include "compiler/scheduler.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <cstdint>
+#include <functional>
 
 #include "common/error.hpp"
 
@@ -22,32 +23,54 @@ Scheduler::pathCostFrom(const HardwareParams &hw)
 }
 
 Scheduler::Scheduler(const Circuit &circuit, const Topology &topo,
-                     const HardwareParams &hw, ScheduleOptions options)
+                     const HardwareParams &hw, ScheduleOptions options,
+                     SchedulerScratch *scratch)
     : Scheduler(circuit, topo, hw,
                 std::make_unique<PathFinder>(topo, pathCostFrom(hw)),
-                options)
+                options, scratch)
 {
 }
 
 Scheduler::Scheduler(const Circuit &circuit, const Topology &topo,
                      const HardwareParams &hw,
                      std::unique_ptr<PathFinder> owned,
-                     ScheduleOptions options)
+                     ScheduleOptions options, SchedulerScratch *scratch)
     : circuit_(circuit), topo_(topo), hw_(hw), options_(options),
       ownedPaths_(std::move(owned)), paths_(*ownedPaths_),
-      router_(topo, paths_), state_(topo, circuit.numQubits())
+      router_(topo, paths_),
+      scratch_(scratch != nullptr ? scratch : &ownScratch_)
 {
+    initState();
     validateAndInitEmitter();
 }
 
 Scheduler::Scheduler(const Circuit &circuit, const Topology &topo,
                      const HardwareParams &hw, const PathFinder &paths,
-                     ScheduleOptions options)
+                     ScheduleOptions options, SchedulerScratch *scratch)
     : circuit_(circuit), topo_(topo), hw_(hw), options_(options),
       paths_(paths), router_(topo, paths_),
-      state_(topo, circuit.numQubits())
+      scratch_(scratch != nullptr ? scratch : &ownScratch_)
 {
+    initState();
     validateAndInitEmitter();
+}
+
+void
+Scheduler::initState()
+{
+    // Reuse the pooled state only when its storage provably fits this
+    // run: same topology object AND vectors sized for its current
+    // extents. The size checks guard against a different Topology
+    // recycled at the old address (per-node data is always read live
+    // through the reference, but the per-trap/edge/node vectors were
+    // sized at construction and must match this topology).
+    std::optional<DeviceState> &pooled = scratch_->state_;
+    if (pooled.has_value() &&
+        pooled->fits(topo_, circuit_.numQubits()))
+        pooled->reset();
+    else
+        pooled.emplace(topo_, circuit_.numQubits());
+    state_ = &*pooled;
 }
 
 void
@@ -55,12 +78,13 @@ Scheduler::validateAndInitEmitter()
 {
     hw_.validate();
     for (const Gate &g : circuit_.gates()) {
-        fatalUnless(isNative(g.op) || g.op == Op::Barrier,
-                    "scheduler requires the native gate set; lower with "
-                    "decomposeToNative() (found " + g.toString() + ")");
+        if (!isNative(g.op) && g.op != Op::Barrier) [[unlikely]]
+            throw ConfigError(
+                "scheduler requires the native gate set; lower with "
+                "decomposeToNative() (found " + g.toString() + ")");
     }
     emitter_ = std::make_unique<PrimitiveEmitter>(
-        state_, hw_, result_.metrics,
+        *state_, hw_, result_.metrics,
         options_.collectTrace ? &result_.trace : nullptr,
         options_.zeroCommTimes);
 }
@@ -68,27 +92,46 @@ Scheduler::validateAndInitEmitter()
 void
 Scheduler::buildQueues()
 {
-    qubitGates_.assign(circuit_.numQubits(), {});
-    qubitNext_.assign(circuit_.numQubits(), 0);
-    std::vector<size_t> perQubit(circuit_.numQubits(), 0);
+    SchedulerScratch &s = *scratch_;
+    const int nq = circuit_.numQubits();
+
+    // Operand entries (up to two per gate) and the prefix sums over
+    // them must fit the uint32 CSR cells.
+    fatalUnless(circuit_.size() < UINT32_MAX / 2,
+                "circuit too large for the scheduler's gate queue");
+
+    // CSR layout: one flat index vector, per-qubit slices located by
+    // offsets. Built in two passes (count, then fill with the cursor
+    // vector as the per-qubit write head). Rebuilt every run — only
+    // the storage is pooled, so a recycled scratch can never serve a
+    // stale queue.
+    s.offsets_.assign(nq + 1, 0);
+    size_t total = 0;
     for (size_t gi = 0; gi < circuit_.size(); ++gi) {
         const Gate &g = circuit_.gate(gi);
         if (g.op == Op::Barrier)
             continue;
-        ++perQubit[g.q0];
+        ++s.offsets_[g.q0 + 1];
         if (g.isTwoQubit())
-            ++perQubit[g.q1];
+            ++s.offsets_[g.q1 + 1];
+        ++total;
     }
-    for (QubitId q = 0; q < circuit_.numQubits(); ++q)
-        qubitGates_[q].reserve(perQubit[q]);
+    for (int q = 0; q < nq; ++q)
+        s.offsets_[q + 1] += s.offsets_[q];
+    s.queue_.resize(s.offsets_[nq]);
+    s.cursors_.assign(s.offsets_.begin(), s.offsets_.end() - 1);
     for (size_t gi = 0; gi < circuit_.size(); ++gi) {
         const Gate &g = circuit_.gate(gi);
         if (g.op == Op::Barrier)
             continue;
-        qubitGates_[g.q0].push_back(gi);
+        s.queue_[s.cursors_[g.q0]++] = static_cast<uint32_t>(gi);
         if (g.isTwoQubit())
-            qubitGates_[g.q1].push_back(gi);
+            s.queue_[s.cursors_[g.q1]++] = static_cast<uint32_t>(gi);
     }
+    gateCount_ = total;
+
+    // Rewind every qubit's cursor to the start of its slice.
+    s.cursors_.assign(s.offsets_.begin(), s.offsets_.end() - 1);
 }
 
 void
@@ -101,7 +144,7 @@ Scheduler::placeInitialLayout()
         for (QubitId q : result_.mapping.chainOrder[t]) {
             // Ion ids coincide with the program qubit they initially
             // carry; payloads drift apart under GS reordering.
-            state_.placeIon(t, q, q);
+            state_->placeIon(t, q, q);
         }
     }
 }
@@ -109,9 +152,11 @@ Scheduler::placeInitialLayout()
 size_t
 Scheduler::nextGateIndex(QubitId q) const
 {
-    if (qubitNext_[q] >= qubitGates_[q].size())
+    const SchedulerScratch &s = *scratch_;
+    const uint32_t cur = s.cursors_[q];
+    if (cur >= s.offsets_[q + 1])
         return SIZE_MAX;
-    return qubitGates_[q][qubitNext_[q]];
+    return s.queue_[cur];
 }
 
 bool
@@ -146,30 +191,42 @@ Scheduler::run()
     buildQueues();
     placeInitialLayout();
 
-    size_t total = 0;
-    for (size_t gi = 0; gi < circuit_.size(); ++gi)
-        if (circuit_.gate(gi).op != Op::Barrier)
-            ++total;
+    SchedulerScratch &s = *scratch_;
+    const size_t total = gateCount_;
+    if (options_.collectTrace) {
+        // Every gate emits at least one primitive; shuttle/reorder
+        // expansion adds more. Pre-size for the common sweep shapes so
+        // the trace grows without reallocating mid-run.
+        result_.trace.reserve(total + total / 2);
+    }
 
-    // Lazy min-heap of (readyTime, gate index); stale keys reinserted.
+    // Lazy min-heap of (readyTime, gate index) on pooled storage;
+    // stale keys reinserted. push_heap/pop_heap is exactly what
+    // std::priority_queue runs, so pop order (ties included) matches
+    // the previous implementation.
     using Entry = std::pair<TimeUs, size_t>;
-    std::vector<Entry> heapStorage;
-    heapStorage.reserve(total + 1);
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap(
-        std::greater<>{}, std::move(heapStorage));
+    auto &heap = s.heap_;
+    const auto cmp = std::greater<Entry>{};
+    heap.clear();
+    heap.reserve(total + 1);
+    const auto heapPush = [&](TimeUs key, size_t gi) {
+        heap.emplace_back(key, gi);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+    };
     for (size_t gi = 0; gi < circuit_.size(); ++gi)
         if (circuit_.gate(gi).op != Op::Barrier && gateReady(gi))
-            heap.emplace(gateReadyTime(gi), gi);
+            heapPush(gateReadyTime(gi), gi);
 
     size_t executed = 0;
 
     while (!heap.empty()) {
-        const auto [key, gi] = heap.top();
-        heap.pop();
+        const auto [key, gi] = heap.front();
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.pop_back();
         panicUnless(gateReady(gi), "non-ready gate escaped into heap");
         const TimeUs now = gateReadyTime(gi);
         if (now > key) {
-            heap.emplace(now, gi);
+            heapPush(now, gi);
             continue;
         }
 
@@ -178,21 +235,21 @@ Scheduler::run()
 
         // Retire the gate and surface newly ready successors.
         const Gate &g = circuit_.gate(gi);
-        ++qubitNext_[g.q0];
+        ++s.cursors_[g.q0];
         const size_t succ0 = nextGateIndex(g.q0);
         if (succ0 != SIZE_MAX && gateReady(succ0))
-            heap.emplace(gateReadyTime(succ0), succ0);
+            heapPush(gateReadyTime(succ0), succ0);
         if (g.isTwoQubit()) {
-            ++qubitNext_[g.q1];
+            ++s.cursors_[g.q1];
             const size_t succ1 = nextGateIndex(g.q1);
             if (succ1 != SIZE_MAX && gateReady(succ1))
-                heap.emplace(gateReadyTime(succ1), succ1);
+                heapPush(gateReadyTime(succ1), succ1);
         }
     }
 
     panicUnless(executed == total,
                 "scheduler finished with unexecuted gates");
-    result_.metrics.maxChainEnergy = state_.maxEnergySeen();
+    result_.metrics.maxChainEnergy = state_->maxEnergySeen();
     return std::move(result_);
 }
 
@@ -217,12 +274,12 @@ Scheduler::executeGate(size_t gi)
     // rather than cached across it.
     for (int guard = 0; ; ++guard) {
         panicUnless(guard < 1000, "gate placement failed to converge");
-        const IonId ia = state_.ionOf(g.q0);
-        const IonId ib = state_.ionOf(g.q1);
-        if (state_.trapOf(ia) == state_.trapOf(ib))
+        const IonId ia = state_->ionOf(g.q0);
+        const IonId ib = state_->ionOf(g.q1);
+        if (state_->trapOf(ia) == state_->trapOf(ib))
             break;
-        const MoveDecision move = router_.chooseMover(state_, ia, ib);
-        if (state_.freeSlots(move.dest) <= 0) {
+        const MoveDecision move = router_.chooseMover(*state_, ia, ib);
+        if (state_->freeSlots(move.dest) <= 0) {
             evictFrom(move.dest, move.stayer, 0);
             continue; // re-resolve: eviction may teleport payloads
         }
@@ -238,13 +295,13 @@ Scheduler::evictFrom(TrapId dest, IonId keep, TimeUs ready)
 {
     // Victim: the ion whose payload is needed latest (unused payloads
     // first), never the gate partner we must keep.
-    const ChainState &chain = state_.chain(dest);
+    const ChainState &chain = state_->chain(dest);
     IonId victim = kInvalidId;
     size_t best_next = 0;
     for (IonId ion : chain.ions) {
         if (ion == keep)
             continue;
-        const size_t next = nextGateIndex(state_.payloadOf(ion));
+        const size_t next = nextGateIndex(state_->payloadOf(ion));
         if (victim == kInvalidId || next > best_next) {
             victim = ion;
             best_next = next;
@@ -252,7 +309,7 @@ Scheduler::evictFrom(TrapId dest, IonId keep, TimeUs ready)
     }
     panicUnless(victim != kInvalidId, "no evictable ion in full trap");
 
-    const TrapId refuge = router_.evictionTarget(state_, dest, dest);
+    const TrapId refuge = router_.evictionTarget(*state_, dest, dest);
     TimeUs done = 0;
     performShuttle(victim, refuge, ready, &done);
     ++result_.metrics.counts.evictions;
@@ -263,10 +320,10 @@ IonId
 Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
                           TimeUs *out_time)
 {
-    const TrapId src = state_.trapOf(ion);
+    const TrapId src = state_->trapOf(ion);
     panicUnless(src != kInvalidId && src != dest,
                 "shuttle needs a trapped ion and a distinct destination");
-    panicUnless(state_.freeSlots(dest) > 0,
+    panicUnless(state_->freeSlots(dest) > 0,
                 "shuttle destination is full; caller must evict first");
     const Path &path = router_.pathBetween(src, dest);
     panicUnless(!path.steps.empty() &&
@@ -278,7 +335,7 @@ Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
 
     // Reorder the payload to the source exit end and split it off.
     const EdgeId first_edge = path.steps.front().id;
-    const ChainEnd exit_end = state_.portEnd(src, first_edge);
+    const ChainEnd exit_end = state_->portEnd(src, first_edge);
     ion = emitter_->reorderToEnd(ion, exit_end, t, &t);
     IonId flying = kInvalidId;
     t = emitter_->emitSplit(src, exit_end, t, &flying);
@@ -302,12 +359,12 @@ Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
                         "through-trap cannot begin or end a path");
             const EdgeId in_edge = path.steps[i - 1].id;
             const EdgeId out_edge = path.steps[i + 1].id;
-            if (state_.chain(through).size() == 0) {
+            if (state_->chain(through).size() == 0) {
                 t = emitter_->emitTransit(through, flying, t);
                 break;
             }
-            const ChainEnd entry = state_.portEnd(through, in_edge);
-            const ChainEnd exit = state_.portEnd(through, out_edge);
+            const ChainEnd entry = state_->portEnd(through, in_edge);
+            const ChainEnd exit = state_->portEnd(through, out_edge);
             panicUnless(entry != exit,
                         "pass-through must cross the chain");
             t = emitter_->emitMerge(through, entry, flying, t);
@@ -324,7 +381,7 @@ Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
 
     // Merge at the destination.
     const EdgeId last_edge = path.steps.back().id;
-    const ChainEnd entry_end = state_.portEnd(dest, last_edge);
+    const ChainEnd entry_end = state_->portEnd(dest, last_edge);
     t = emitter_->emitMerge(dest, entry_end, flying, t);
     *out_time = t;
     return flying;

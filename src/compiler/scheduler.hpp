@@ -20,7 +20,10 @@
 #ifndef QCCD_COMPILER_SCHEDULER_HPP
 #define QCCD_COMPILER_SCHEDULER_HPP
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "arch/path.hpp"
@@ -55,6 +58,51 @@ struct ScheduleResult
     InitialMapping mapping;
 };
 
+/**
+ * Reusable buffers shared between consecutive Scheduler runs.
+ *
+ * A toolflow point schedules the same circuit up to twice (the real
+ * pass and the zero-communication pass of the Fig. 6b decomposition),
+ * and a sweep worker evaluates many points back to back. Passing one
+ * scratch to every Scheduler pools the allocations: the flattened gate
+ * queue and ready-heap keep their storage across runs (contents are
+ * rebuilt every run), and the DeviceState is reset in place instead of
+ * reconstructed when the same topology and ion count repeat. Contents
+ * are fully (re)initialized by each run, so results are bit-identical
+ * with and without a scratch. Not thread-safe: use one scratch per
+ * worker.
+ */
+class SchedulerScratch
+{
+  public:
+    SchedulerScratch() = default;
+
+    /**
+     * The pooled device state of the most recent run (nullptr before
+     * any run). Exposed read-only so tests can check end-of-run
+     * invariants (e.g. DeviceState::positionIndexConsistent).
+     */
+    const DeviceState *deviceState() const
+    {
+        return state_.has_value() ? &*state_ : nullptr;
+    }
+
+  private:
+    friend class Scheduler;
+
+    /** CSR gate queue: per-qubit slices of queue_ delimited by
+     *  offsets_. Contents are rebuilt by every run (only the storage
+     *  is pooled — a cheap linear pass, and address-based circuit
+     *  identity would be unsound across pooled runs). @{ */
+    std::vector<uint32_t> queue_;
+    std::vector<uint32_t> offsets_;
+    /** @} */
+
+    std::vector<uint32_t> cursors_; ///< per-qubit position in queue_
+    std::vector<std::pair<TimeUs, size_t>> heap_;
+    std::optional<DeviceState> state_;
+};
+
 /** Compiles and simulates one circuit on one device configuration. */
 class Scheduler
 {
@@ -64,9 +112,13 @@ class Scheduler
      *        use decomposeToNative() first)
      * @param topo device topology (must outlive the scheduler)
      * @param hw hardware parameterization
+     * @param options scheduling knobs
+     * @param scratch optional buffer pool reused across schedulers
+     *        (must outlive this scheduler; one scheduler at a time)
      */
     Scheduler(const Circuit &circuit, const Topology &topo,
-              const HardwareParams &hw, ScheduleOptions options = {});
+              const HardwareParams &hw, ScheduleOptions options = {},
+              SchedulerScratch *scratch = nullptr);
 
     /**
      * Like the owning constructor, but routes over a prebuilt all-pairs
@@ -77,7 +129,8 @@ class Scheduler
      */
     Scheduler(const Circuit &circuit, const Topology &topo,
               const HardwareParams &hw, const PathFinder &paths,
-              ScheduleOptions options = {});
+              ScheduleOptions options = {},
+              SchedulerScratch *scratch = nullptr);
 
     /** Run the full schedule; callable once. */
     ScheduleResult run();
@@ -89,7 +142,8 @@ class Scheduler
     /** Owning delegate: keeps @p owned alive and routes over it. */
     Scheduler(const Circuit &circuit, const Topology &topo,
               const HardwareParams &hw,
-              std::unique_ptr<PathFinder> owned, ScheduleOptions options);
+              std::unique_ptr<PathFinder> owned, ScheduleOptions options,
+              SchedulerScratch *scratch);
 
     const Circuit &circuit_;
     const Topology &topo_;
@@ -99,15 +153,19 @@ class Scheduler
     std::unique_ptr<PathFinder> ownedPaths_; ///< only when not shared
     const PathFinder &paths_;
     Router router_;
-    DeviceState state_;
+
+    SchedulerScratch ownScratch_; ///< used when the caller gave none
+    SchedulerScratch *scratch_;   ///< buffers this run schedules out of
+    DeviceState *state_;          ///< lives in scratch_->state_
+
     ScheduleResult result_;
     std::unique_ptr<PrimitiveEmitter> emitter_;
 
-    /** Per-qubit FIFO of pending gate indices. */
-    std::vector<std::vector<size_t>> qubitGates_;
-    std::vector<size_t> qubitNext_; ///< cursor into qubitGates_[q]
-
+    size_t gateCount_ = 0; ///< non-barrier gates, set by buildQueues
     bool ran_ = false;
+
+    /** Emplace or reset the pooled DeviceState for this run. */
+    void initState();
 
     void validateAndInitEmitter();
     void buildQueues();

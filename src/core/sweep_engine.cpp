@@ -48,7 +48,7 @@ SweepEngine::nativeBenchmark(const std::string &app)
 std::shared_ptr<const ToolflowContext>
 SweepEngine::context(const DesignPoint &design)
 {
-    const std::string key = ToolflowContext::cacheKey(design);
+    const ContextKey key = ToolflowContext::cacheKey(design);
     auto it = contexts_.find(key);
     if (it == contexts_.end())
         it = contexts_
@@ -77,14 +77,19 @@ SweepEngine::run(const std::vector<SweepJob> &batch)
     std::atomic<size_t> next{0};
 
     auto worker = [&]() {
+        // One buffer pool per worker: schedulers of consecutive points
+        // reuse the gate queue, heap, and device-state storage (fully
+        // reinitialized per run, so results don't depend on job order).
+        SchedulerScratch scratch;
         for (size_t i = next.fetch_add(1); i < batch.size();
              i = next.fetch_add(1)) {
             const SweepJob &job = batch[i];
             try {
                 points[i].application = job.application;
                 points[i].design = job.design;
-                points[i].result = runToolflow(
-                    *job.native, job.design, *jobContexts[i], job.options);
+                points[i].result =
+                    runToolflow(*job.native, job.design, *jobContexts[i],
+                                job.options, &scratch);
             } catch (...) {
                 errors[i] = std::current_exception();
             }

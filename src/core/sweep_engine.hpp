@@ -96,7 +96,7 @@ class SweepEngine
   private:
     int jobs_;
     std::map<std::string, std::shared_ptr<const Circuit>> circuits_;
-    std::map<std::string, std::shared_ptr<const ToolflowContext>> contexts_;
+    std::map<ContextKey, std::shared_ptr<const ToolflowContext>> contexts_;
 };
 
 } // namespace qccd

@@ -1,12 +1,21 @@
 #include "core/toolflow.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <ostream>
 
 #include "circuit/decompose.hpp"
 
 namespace qccd
 {
+
+std::ostream &
+operator<<(std::ostream &out, const ContextKey &key)
+{
+    return out << key.topologySpec << '|' << key.trapCapacity << '|'
+               << key.movePerSegment << '|' << key.split << '|'
+               << key.merge << '|' << key.yJunction << '|'
+               << key.xJunction;
+}
 
 TimeUs
 RunResult::communicationTime() const
@@ -21,43 +30,49 @@ ToolflowContext::ToolflowContext(const DesignPoint &design)
 {
 }
 
-std::string
+ContextKey
 ToolflowContext::cacheKey(const DesignPoint &design)
 {
     const ShuttleTimeModel &s = design.hw.shuttle;
-    std::ostringstream key;
-    key.precision(17);
-    key << design.topologySpec << '|' << design.trapCapacity << '|'
-        << s.movePerSegment << '|' << s.split << '|' << s.merge << '|'
-        << s.yJunction << '|' << s.xJunction;
-    return key.str();
+    return ContextKey{design.topologySpec, design.trapCapacity,
+                      s.movePerSegment,   s.split,
+                      s.merge,            s.yJunction,
+                      s.xJunction};
 }
 
 RunResult
 runToolflow(const Circuit &native, const DesignPoint &design,
-            const ToolflowContext &context, const RunOptions &options)
+            const ToolflowContext &context, const RunOptions &options,
+            SchedulerScratch *scratch)
 {
+    // Both passes (and, through the caller's scratch, consecutive
+    // points of a sweep worker) schedule out of one buffer pool.
+    SchedulerScratch local;
+    if (scratch == nullptr)
+        scratch = &local;
+
     RunResult result;
     {
         ScheduleOptions sched;
         sched.collectTrace = options.collectTrace;
         sched.mappingPolicy = options.mappingPolicy;
         Scheduler scheduler(native, context.topology(), design.hw,
-                            context.paths(), sched);
+                            context.paths(), sched, scratch);
         result.sim = scheduler.run().metrics;
     }
     if (options.decomposeRuntime) {
         // Second pass with shuttling idealized to zero duration yields
         // the pure computation critical path; the difference is the
         // communication share (Fig. 6b's decomposition). The pass
-        // reuses the lowered circuit and the shared context: only the
-        // schedule itself is recomputed.
+        // reuses the lowered circuit, the shared context, and the
+        // first pass's scratch buffers: only the schedule itself is
+        // recomputed.
         ScheduleOptions sched;
         sched.collectTrace = false;
         sched.zeroCommTimes = true;
         sched.mappingPolicy = options.mappingPolicy;
         Scheduler scheduler(native, context.topology(), design.hw,
-                            context.paths(), sched);
+                            context.paths(), sched, scratch);
         result.computeOnlyTime = scheduler.run().metrics.makespan;
     }
     return result;

@@ -9,6 +9,8 @@
 #ifndef QCCD_CORE_TOOLFLOW_HPP
 #define QCCD_CORE_TOOLFLOW_HPP
 
+#include <compare>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -18,6 +20,32 @@
 
 namespace qccd
 {
+
+/**
+ * Value key naming the architecture a ToolflowContext serves: the
+ * topology spec, trap capacity, and the shuttle timings that feed the
+ * routing cost. Designs with equal keys can share a context. A plain
+ * comparable struct (no stream formatting) since sweep setup builds one
+ * per job.
+ */
+struct ContextKey
+{
+    std::string topologySpec;
+    int trapCapacity = 0;
+    TimeUs movePerSegment = 0;
+    TimeUs split = 0;
+    TimeUs merge = 0;
+    TimeUs yJunction = 0;
+    TimeUs xJunction = 0;
+
+    friend auto operator<=>(const ContextKey &, const ContextKey &) =
+        default;
+    friend bool operator==(const ContextKey &, const ContextKey &) =
+        default;
+};
+
+/** Readable rendering for test failures and debugging. */
+std::ostream &operator<<(std::ostream &out, const ContextKey &key);
 
 /** Application + device metrics for one toolflow run. */
 struct RunResult
@@ -67,11 +95,10 @@ class ToolflowContext
     const PathFinder &paths() const { return *paths_; }
 
     /**
-     * Cache key covering every input the context depends on: the
-     * topology spec, trap capacity, and the shuttle timings that feed
-     * the routing cost. Designs with equal keys can share a context.
+     * Cache key covering every input the context depends on (see
+     * ContextKey). Designs with equal keys can share a context.
      */
-    static std::string cacheKey(const DesignPoint &design);
+    static ContextKey cacheKey(const DesignPoint &design);
 
   private:
     std::unique_ptr<const Topology> topo_;
@@ -99,10 +126,16 @@ RunResult runToolflow(const Circuit &circuit, const DesignPoint &design,
  * @p context must have been built for a design with the same
  * ToolflowContext::cacheKey() as @p design. Thread-safe with respect
  * to other runs sharing the same context and circuit.
+ *
+ * @p scratch optionally pools scheduler buffers: the two passes of a
+ * decomposed run share it, and a sweep worker can carry one scratch
+ * across all its points (see SchedulerScratch). Results are
+ * bit-identical with or without it.
  */
 RunResult runToolflow(const Circuit &native, const DesignPoint &design,
                       const ToolflowContext &context,
-                      const RunOptions &options = {});
+                      const RunOptions &options = {},
+                      SchedulerScratch *scratch = nullptr);
 
 /**
  * Like runToolflow but also returns the full schedule (trace and

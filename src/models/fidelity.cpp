@@ -38,11 +38,19 @@ GateErrorBreakdown
 FidelityModel::twoQubitError(TimeUs tau_us, int chain_length,
                              Quanta nbar) const
 {
+    return twoQubitErrorWithScale(tau_us, scaleFactorA(chain_length),
+                                  nbar);
+}
+
+GateErrorBreakdown
+FidelityModel::twoQubitErrorWithScale(TimeUs tau_us, double scale_a,
+                                      Quanta nbar) const
+{
     panicUnless(tau_us >= 0, "gate duration cannot be negative");
     panicUnless(nbar >= 0, "motional energy cannot be negative");
     GateErrorBreakdown err;
     err.background = gammaPerS_ * (tau_us / kSecondUs);
-    err.motional = scaleFactorA(chain_length) * (2.0 * nbar + 1.0);
+    err.motional = scale_a * (2.0 * nbar + 1.0);
     return err;
 }
 

@@ -61,6 +61,16 @@ class FidelityModel
     GateErrorBreakdown twoQubitError(TimeUs tau_us, int chain_length,
                                      Quanta nbar) const;
 
+    /**
+     * Like twoQubitError but with the laser-instability factor A given
+     * directly instead of recomputed from the chain length. Passing
+     * scaleFactorA(chain_length) reproduces twoQubitError bit-for-bit;
+     * ModelTables uses this to substitute its memoized A.
+     */
+    GateErrorBreakdown twoQubitErrorWithScale(TimeUs tau_us,
+                                              double scale_a,
+                                              Quanta nbar) const;
+
     /** Fidelity of one MS gate (convenience over twoQubitError). */
     double twoQubitFidelity(TimeUs tau_us, int chain_length,
                             Quanta nbar) const;

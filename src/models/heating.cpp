@@ -39,6 +39,17 @@ HeatingModel::afterMove(Quanta energy, int segments) const
 }
 
 Quanta
+HeatingModel::afterMoves(Quanta energy, int segments) const
+{
+    panicUnless(segments >= 0, "segment count cannot be negative");
+    // energy + k2*1 == energy + k2 bitwise (IEEE multiply by one is
+    // exact), so this is afterMove(e, 1) iterated without the call.
+    for (int s = 0; s < segments; ++s)
+        energy += k2_;
+    return energy;
+}
+
+Quanta
 HeatingModel::afterJunction(Quanta energy) const
 {
     return energy + k2_;

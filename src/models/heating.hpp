@@ -56,6 +56,16 @@ class HeatingModel
     /** Energy of a chain after moving across @p segments segments. */
     Quanta afterMove(Quanta energy, int segments) const;
 
+    /**
+     * Energy after @p segments successive single-segment moves, i.e.
+     * afterMove(. , 1) applied @p segments times. Bit-identical to that
+     * loop: the recurrence e += k2 cannot be collapsed to e + k2*n in
+     * floating point (the partial sums round differently), so the model
+     * applies it stepwise rather than approximating with the closed
+     * form afterMove(e, n).
+     */
+    Quanta afterMoves(Quanta energy, int segments) const;
+
     /** Energy of a chain after crossing one junction. */
     Quanta afterJunction(Quanta energy) const;
 

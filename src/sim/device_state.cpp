@@ -9,16 +9,70 @@ namespace qccd
 
 DeviceState::DeviceState(const Topology &topo, int num_ions)
     : topo_(topo), chains_(topo.trapCount()),
-      ionTrap_(num_ions, kInvalidId), ionPayload_(num_ions, kInvalidId),
-      qubitIon_(num_ions, kInvalidId), flightEnergy_(num_ions, 0),
-      trapRes_(topo.trapCount()), edgeRes_(topo.edgeCount()),
-      nodeRes_(topo.nodeCount())
+      ionTrap_(num_ions, kInvalidId), ionPos_(num_ions, kInvalidId),
+      ionPayload_(num_ions, kInvalidId), qubitIon_(num_ions, kInvalidId),
+      flightEnergy_(num_ions, 0), trapRes_(topo.trapCount()),
+      edgeRes_(topo.edgeCount()), nodeRes_(topo.nodeCount())
 {
     fatalUnless(num_ions >= 1, "device state needs at least one ion");
-    fatalUnless(num_ions <= topo.totalCapacity(),
-                "application does not fit: " + std::to_string(num_ions) +
-                " qubits > device capacity " +
-                std::to_string(topo.totalCapacity()));
+    if (num_ions > topo.totalCapacity())
+        fatalUnless(false, "application does not fit: " +
+                    std::to_string(num_ions) + " qubits > device capacity " +
+                    std::to_string(topo.totalCapacity()));
+}
+
+void
+DeviceState::reset()
+{
+    for (ChainState &c : chains_) {
+        c.ions.clear();
+        c.energy = 0;
+    }
+    std::fill(ionTrap_.begin(), ionTrap_.end(), kInvalidId);
+    std::fill(ionPos_.begin(), ionPos_.end(), kInvalidId);
+    std::fill(ionPayload_.begin(), ionPayload_.end(), kInvalidId);
+    std::fill(qubitIon_.begin(), qubitIon_.end(), kInvalidId);
+    std::fill(flightEnergy_.begin(), flightEnergy_.end(), 0.0);
+    std::fill(trapRes_.begin(), trapRes_.end(), ResourceTimeline{});
+    std::fill(edgeRes_.begin(), edgeRes_.end(), ResourceTimeline{});
+    std::fill(nodeRes_.begin(), nodeRes_.end(), ResourceTimeline{});
+    maxEnergySeen_ = 0;
+}
+
+bool
+DeviceState::fits(const Topology &topo, int num_ions) const
+{
+    return &topo == &topo_ && num_ions == numIons() &&
+           chains_.size() == static_cast<size_t>(topo.trapCount()) &&
+           trapRes_.size() == static_cast<size_t>(topo.trapCount()) &&
+           edgeRes_.size() == static_cast<size_t>(topo.edgeCount()) &&
+           nodeRes_.size() == static_cast<size_t>(topo.nodeCount());
+}
+
+void
+DeviceState::reindexChain(TrapId t)
+{
+    const auto &ions = chains_[t].ions;
+    for (size_t i = 0; i < ions.size(); ++i)
+        ionPos_[ions[i]] = static_cast<int>(i);
+}
+
+bool
+DeviceState::positionIndexConsistent() const
+{
+    for (TrapId t = 0; t < topo_.trapCount(); ++t) {
+        const auto &ions = chains_[t].ions;
+        for (size_t i = 0; i < ions.size(); ++i) {
+            if (ionTrap_[ions[i]] != t)
+                return false;
+            if (ionPos_[ions[i]] != static_cast<int>(i))
+                return false;
+        }
+    }
+    for (IonId ion = 0; ion < numIons(); ++ion)
+        if (ionTrap_[ion] == kInvalidId && ionPos_[ion] != kInvalidId)
+            return false;
+    return true;
 }
 
 void
@@ -33,6 +87,7 @@ DeviceState::placeIon(TrapId t, IonId ion, QubitId payload)
                 "initial layout exceeds trap capacity");
     c.ions.push_back(ion);
     ionTrap_[ion] = t;
+    ionPos_[ion] = c.size() - 1;
     ionPayload_[ion] = payload;
     qubitIon_[payload] = ion;
 }
@@ -65,10 +120,11 @@ DeviceState::positionOf(IonId ion) const
 {
     const TrapId t = trapOf(ion);
     panicUnless(t != kInvalidId, "ion is in flight");
-    const auto &ions = chains_[t].ions;
-    const auto it = std::find(ions.begin(), ions.end(), ion);
-    panicUnless(it != ions.end(), "ion/trap bookkeeping out of sync");
-    return static_cast<int>(it - ions.begin());
+    const int pos = ionPos_[ion];
+    panicUnless(pos >= 0 && pos < chains_[t].size() &&
+                    chains_[t].ions[pos] == ion,
+                "ion/trap bookkeeping out of sync");
+    return pos;
 }
 
 QubitId
@@ -106,6 +162,8 @@ DeviceState::swapToward(IonId ion, ChainEnd end)
     panicUnless(next >= 0 && next < static_cast<int>(ions.size()),
                 "ion swap would fall off the chain end");
     std::swap(ions[pos], ions[next]);
+    ionPos_[ions[pos]] = pos;
+    ionPos_[ions[next]] = next;
     return ions[pos];
 }
 
@@ -118,11 +176,13 @@ DeviceState::detachEnd(TrapId t, ChainEnd end, Quanta ion_energy)
     if (end == ChainEnd::Left) {
         ion = c.ions.front();
         c.ions.erase(c.ions.begin());
+        reindexChain(t);
     } else {
         ion = c.ions.back();
         c.ions.pop_back();
     }
     ionTrap_[ion] = kInvalidId;
+    ionPos_[ion] = kInvalidId;
     flightEnergy_[ion] = ion_energy;
     maxEnergySeen_ = std::max(maxEnergySeen_, ion_energy);
     return ion;
@@ -134,11 +194,15 @@ DeviceState::attachEnd(TrapId t, ChainEnd end, IonId ion)
     panicUnless(ionTrap_[ion] == kInvalidId,
                 "attachEnd requires an in-flight ion");
     ChainState &c = chains_[t];
-    if (end == ChainEnd::Left)
+    if (end == ChainEnd::Left) {
         c.ions.insert(c.ions.begin(), ion);
-    else
+        ionTrap_[ion] = t;
+        reindexChain(t);
+    } else {
         c.ions.push_back(ion);
-    ionTrap_[ion] = t;
+        ionTrap_[ion] = t;
+        ionPos_[ion] = c.size() - 1;
+    }
 }
 
 Quanta

@@ -52,6 +52,20 @@ class DeviceState
      */
     DeviceState(const Topology &topo, int num_ions);
 
+    /**
+     * Return to the freshly constructed state (no ions placed, all
+     * energies and timelines zero) without releasing any storage, so a
+     * pooled DeviceState can be reused across schedule passes.
+     */
+    void reset();
+
+    /**
+     * True when this state's storage is sized exactly for @p topo and
+     * @p num_ions — the precondition for reusing it via reset()
+     * instead of reconstructing (see SchedulerScratch).
+     */
+    bool fits(const Topology &topo, int num_ions) const;
+
     const Topology &topology() const { return topo_; }
     int numIons() const { return static_cast<int>(ionTrap_.size()); }
 
@@ -105,6 +119,13 @@ class DeviceState
     /** Maximum chain energy observed so far across all traps. */
     Quanta maxEnergySeen() const { return maxEnergySeen_; }
 
+    /**
+     * True when the per-ion position index agrees with every chain's
+     * ion order (test invariant; positionOf answers from the index in
+     * O(1) instead of scanning the chain).
+     */
+    bool positionIndexConsistent() const;
+
     /** Resource timelines. @{ */
     ResourceTimeline &trapTimeline(TrapId t);
     ResourceTimeline &edgeTimeline(EdgeId e);
@@ -115,6 +136,7 @@ class DeviceState
     const Topology &topo_;
     std::vector<ChainState> chains_;          // per trap
     std::vector<TrapId> ionTrap_;             // per ion; -1 = in flight
+    std::vector<int> ionPos_;                 // per ion chain position
     std::vector<QubitId> ionPayload_;         // per ion
     std::vector<IonId> qubitIon_;             // per qubit
     std::vector<Quanta> flightEnergy_;        // per ion, valid in flight
@@ -122,6 +144,9 @@ class DeviceState
     std::vector<ResourceTimeline> edgeRes_;
     std::vector<ResourceTimeline> nodeRes_;   // junctions use node ids
     Quanta maxEnergySeen_ = 0;
+
+    /** Rewrite the position index of every ion in trap @p t's chain. */
+    void reindexChain(TrapId t);
 };
 
 } // namespace qccd

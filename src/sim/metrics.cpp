@@ -6,14 +6,6 @@
 namespace qccd
 {
 
-namespace
-{
-
-/** Fidelity floor so the log product stays finite. */
-constexpr double kMinFidelity = 1e-15;
-
-} // namespace
-
 double
 SimResult::fidelity() const
 {
@@ -35,18 +27,42 @@ SimResult::meanMotionalError() const
 }
 
 void
-SimResult::noteOp(const PrimOp &op)
+SimResult::noteMsOp(TimeUs end, TimeUs duration, bool for_comm,
+                    double err_background, double err_motional,
+                    double fidelity, double log_fidelity)
 {
-    makespan = std::max(makespan, op.end());
+    makespan = std::max(makespan, end);
+    if (for_comm)
+        ++counts.reorderMs;
+    else
+        ++counts.algorithmMs;
+    sumBackgroundError += err_background;
+    sumMotionalError += err_motional;
 
-    switch (op.kind) {
+    if (for_comm)
+        commBusy += duration;
+    else
+        computeBusy += duration;
+
+    if (fidelity <= 0)
+        ++zeroFidelityOps;
+    logFidelity += log_fidelity;
+}
+
+void
+SimResult::noteSimpleOp(PrimKind kind, TimeUs end, TimeUs duration,
+                        bool for_comm, double fidelity,
+                        double log_fidelity)
+{
+    makespan = std::max(makespan, end);
+
+    switch (kind) {
       case PrimKind::GateMS:
-        if (op.forCommunication)
+        // MS gates carry error sums; they must go through noteMsOp.
+        if (for_comm)
             ++counts.reorderMs;
         else
             ++counts.algorithmMs;
-        sumBackgroundError += op.errBackground;
-        sumMotionalError += op.errMotional;
         break;
       case PrimKind::Gate1Q:
         ++counts.oneQubit;
@@ -74,14 +90,27 @@ SimResult::noteOp(const PrimOp &op)
         break;
     }
 
-    if (op.forCommunication)
-        commBusy += op.duration;
+    if (for_comm)
+        commBusy += duration;
     else
-        computeBusy += op.duration;
+        computeBusy += duration;
 
-    if (op.fidelity <= 0)
+    if (fidelity <= 0)
         ++zeroFidelityOps;
-    logFidelity += std::log(std::max(op.fidelity, kMinFidelity));
+    logFidelity += log_fidelity;
+}
+
+void
+SimResult::noteOp(const PrimOp &op)
+{
+    const double log_fid =
+        std::log(std::max(op.fidelity, kMinFidelity));
+    if (op.kind == PrimKind::GateMS)
+        noteMsOp(op.end(), op.duration, op.forCommunication,
+                 op.errBackground, op.errMotional, op.fidelity, log_fid);
+    else
+        noteSimpleOp(op.kind, op.end(), op.duration, op.forCommunication,
+                     op.fidelity, log_fid);
 }
 
 } // namespace qccd

@@ -37,6 +37,12 @@ struct OpCounts
     long totalMs() const { return algorithmMs + reorderMs; }
 };
 
+/**
+ * Fidelity floor applied inside the log product so it stays finite
+ * (exposed so ModelTables can precompute clamped logs bit-identically).
+ */
+constexpr double kMinFidelity = 1e-15;
+
 /** Aggregate results of one simulated execution. */
 struct SimResult
 {
@@ -72,6 +78,21 @@ struct SimResult
 
     /** Fold one scheduled op into counters/makespan/fidelity. */
     void noteOp(const PrimOp &op);
+
+    /**
+     * Metrics-only fast paths: identical accounting to noteOp without
+     * requiring a populated PrimOp, for the no-trace schedule mode. The
+     * caller passes log(max(fidelity, kMinFidelity)) precomputed — the
+     * emitter memoizes it for the constant-fidelity op kinds — so the
+     * accumulated sums match noteOp's bit for bit. @{
+     */
+    void noteMsOp(TimeUs end, TimeUs duration, bool for_comm,
+                  double err_background, double err_motional,
+                  double fidelity, double log_fidelity);
+    void noteSimpleOp(PrimKind kind, TimeUs end, TimeUs duration,
+                      bool for_comm, double fidelity,
+                      double log_fidelity);
+    /** @} */
 };
 
 } // namespace qccd

@@ -130,6 +130,56 @@ TEST_F(DeviceStateTest, TooManyIonsRejected)
     EXPECT_THROW(DeviceState(tiny, 3), ConfigError);
 }
 
+TEST_F(DeviceStateTest, PositionIndexConsistentThroughMutations)
+{
+    // Every mutation path of the O(1) per-ion position index: place,
+    // physical swap, detach at both ends, attach at both ends.
+    EXPECT_TRUE(state_.positionIndexConsistent());
+
+    state_.swapToward(0, ChainEnd::Right);
+    EXPECT_TRUE(state_.positionIndexConsistent());
+    state_.swapToward(0, ChainEnd::Right);
+    EXPECT_TRUE(state_.positionIndexConsistent());
+
+    const IonId right = state_.detachEnd(0, ChainEnd::Right, 0.5);
+    EXPECT_TRUE(state_.positionIndexConsistent());
+    const IonId left = state_.detachEnd(0, ChainEnd::Left, 0.5);
+    EXPECT_TRUE(state_.positionIndexConsistent());
+
+    state_.attachEnd(1, ChainEnd::Left, right);
+    EXPECT_TRUE(state_.positionIndexConsistent());
+    state_.attachEnd(2, ChainEnd::Right, left);
+    EXPECT_TRUE(state_.positionIndexConsistent());
+
+    EXPECT_EQ(state_.positionOf(right), 0);
+    EXPECT_EQ(state_.chain(1).ions.front(), right);
+}
+
+TEST_F(DeviceStateTest, ResetRestoresFreshState)
+{
+    state_.setEnergy(0, 3.0);
+    state_.trapTimeline(1).acquire(0, 50);
+    state_.detachEnd(0, ChainEnd::Right, 1.0);
+    state_.swapPayloads(0, 1);
+
+    state_.reset();
+
+    for (TrapId t = 0; t < topo_.trapCount(); ++t) {
+        EXPECT_EQ(state_.chain(t).size(), 0);
+        EXPECT_DOUBLE_EQ(state_.energy(t), 0.0);
+        EXPECT_DOUBLE_EQ(state_.trapTimeline(t).freeAt(), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(state_.maxEnergySeen(), 0.0);
+    EXPECT_TRUE(state_.positionIndexConsistent());
+
+    // The reset state accepts a fresh layout, exactly like a newly
+    // constructed one.
+    state_.placeIon(0, 0, 0);
+    state_.placeIon(0, 1, 1);
+    EXPECT_EQ(state_.positionOf(1), 1);
+    EXPECT_TRUE(state_.positionIndexConsistent());
+}
+
 TEST(ResourceTimelineTest, AcquireSerializes)
 {
     ResourceTimeline res;

@@ -146,6 +146,7 @@ TEST_F(EmitterTest, IsReorderHopsPhysically)
     // IS moves the same physical ion all the way to the left end.
     EXPECT_EQ(carrier, 3);
     EXPECT_EQ(state_.positionOf(3), 0);
+    EXPECT_TRUE(state_.positionIndexConsistent());
     // Three hops, each split+rotate+merge on a >2 ion chain.
     EXPECT_EQ(result_.counts.rotations, 3);
     EXPECT_EQ(result_.counts.splits, 3);

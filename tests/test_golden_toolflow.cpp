@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Golden-output tests: the toolflow must produce bit-identical metrics
+ * to the values captured before the hot-path optimizations (PR 3's
+ * memoized models / O(1) device state / pooled scheduling), across all
+ * four gate implementations, both reorder methods, and both topology
+ * families. Every double comparison is exact (EXPECT_EQ, not NEAR):
+ * any deviation means an optimization changed the arithmetic.
+ *
+ * Regenerate the table by printing the same fields with %.17g from a
+ * trusted build (the values below come from commit f699107).
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/decompose.hpp"
+#include "core/toolflow.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+struct GoldenCounts
+{
+    long algorithmMs, reorderMs, oneQubit, measurements, splits, merges,
+        moves, segmentsMoved, junctionCrossings, rotations, transits,
+        shuttles, evictions;
+};
+
+struct GoldenCase
+{
+    const char *app;
+    const char *spec;
+    int capacity;
+    GateImpl gate;
+    ReorderMethod reorder;
+    bool decomposeRuntime;
+
+    double makespan;
+    double logFidelity;
+    double computeOnlyTime;
+    double maxChainEnergy;
+    double sumBackgroundError;
+    double sumMotionalError;
+    double computeBusy;
+    double commBusy;
+    long zeroFidelityOps;
+    GoldenCounts counts;
+};
+
+const GoldenCase kGolden[] = {
+    {"bv", "linear:6", 22, GateImpl::FM, ReorderMethod::GS, true,
+     25892.839999999982, -0.092875965663158533, 23407.279999999992, 1.6825612585181964, 0.014242840000000003, 0.0041989304172278053,
+     24157.279999999988, 3250.5600000000004, 0,
+     {63, 6, 380, 63, 11, 11, 11, 11, 0, 0, 0, 11, 0}},
+    {"adder", "linear:6", 17, GateImpl::AM1, ReorderMethod::GS, false,
+     100349, -0.24002667908665187, 0, 2.7267255119193861, 0.084391999999999773, 0.048338494601929322,
+     100348, 6024, 0,
+     {496, 18, 2542, 31, 28, 28, 28, 28, 0, 0, 0, 28, 0}},
+    {"qft", "grid:2x3", 25, GateImpl::PM, ReorderMethod::IS, true,
+     927780, -48.164733897382092, 567100, 337.46879051182913, 0.86740499999999332, 46.134443152990293,
+     988205, 547955, 0,
+     {4032, 0, 22240, 64, 2517, 2517, 377, 377, 231, 2371, 0, 146, 1}},
+    {"supremacy", "linear:6", 14, GateImpl::AM2, ReorderMethod::IS, false,
+     893821, -3.9845734778729924, 0, 476.60701930179994, 0.10383000000000014, 3.6563464061056763,
+     136150, 1232310, 0,
+     {560, 0, 4544, 64, 6004, 6004, 634, 634, 0, 5370, 0, 367, 18}},
+    {"qaoa", "linear:6", 30, GateImpl::FM, ReorderMethod::IS, false,
+     332134.09000000008, -0.80466999160643748, 0, 3.1812050202908426, 0.36201053999999799, 0.18727401195131954,
+     403480.54000000178, 4455, 0,
+     {1260, 0, 6374, 64, 27, 27, 27, 27, 0, 0, 0, 27, 0}},
+    {"squareroot", "grid:2x3", 20, GateImpl::AM2, ReorderMethod::GS, true,
+     387101, -1.6833224795990156, 270982, 21.459507565189579, 0.42243799999999404, 0.99440478042071745,
+     285582, 266796, 0,
+     {1339, 621, 7562, 39, 218, 218, 660, 660, 442, 0, 0, 218, 0}},
+};
+
+TEST(GoldenToolflow, MetricsBitIdenticalToReference)
+{
+    for (const GoldenCase &g : kGolden) {
+        SCOPED_TRACE(std::string(g.app) + " @ " + g.spec + " cap=" +
+                     std::to_string(g.capacity) + " " +
+                     gateImplName(g.gate) + "-" +
+                     reorderMethodName(g.reorder));
+        DesignPoint dp;
+        dp.topologySpec = g.spec;
+        dp.trapCapacity = g.capacity;
+        dp.hw.gateImpl = g.gate;
+        dp.hw.reorder = g.reorder;
+        const Circuit native = decomposeToNative(makeBenchmark(g.app));
+        const ToolflowContext context(dp);
+        RunOptions options;
+        options.decomposeRuntime = g.decomposeRuntime;
+        const RunResult r = runToolflow(native, dp, context, options);
+        const SimResult &s = r.sim;
+
+        EXPECT_EQ(s.makespan, g.makespan);
+        EXPECT_EQ(s.logFidelity, g.logFidelity);
+        EXPECT_EQ(r.computeOnlyTime, g.computeOnlyTime);
+        EXPECT_EQ(s.maxChainEnergy, g.maxChainEnergy);
+        EXPECT_EQ(s.sumBackgroundError, g.sumBackgroundError);
+        EXPECT_EQ(s.sumMotionalError, g.sumMotionalError);
+        EXPECT_EQ(s.computeBusy, g.computeBusy);
+        EXPECT_EQ(s.commBusy, g.commBusy);
+        EXPECT_EQ(s.zeroFidelityOps, g.zeroFidelityOps);
+
+        EXPECT_EQ(s.counts.algorithmMs, g.counts.algorithmMs);
+        EXPECT_EQ(s.counts.reorderMs, g.counts.reorderMs);
+        EXPECT_EQ(s.counts.oneQubit, g.counts.oneQubit);
+        EXPECT_EQ(s.counts.measurements, g.counts.measurements);
+        EXPECT_EQ(s.counts.splits, g.counts.splits);
+        EXPECT_EQ(s.counts.merges, g.counts.merges);
+        EXPECT_EQ(s.counts.moves, g.counts.moves);
+        EXPECT_EQ(s.counts.segmentsMoved, g.counts.segmentsMoved);
+        EXPECT_EQ(s.counts.junctionCrossings,
+                  g.counts.junctionCrossings);
+        EXPECT_EQ(s.counts.rotations, g.counts.rotations);
+        EXPECT_EQ(s.counts.transits, g.counts.transits);
+        EXPECT_EQ(s.counts.shuttles, g.counts.shuttles);
+        EXPECT_EQ(s.counts.evictions, g.counts.evictions);
+    }
+}
+
+TEST(GoldenToolflow, ScratchReuseDoesNotChangeResults)
+{
+    // The same point evaluated with a cold scratch, a reused scratch
+    // (second run), and no scratch must agree bit for bit.
+    DesignPoint dp = DesignPoint::linear(6, 22);
+    const Circuit native = decomposeToNative(makeBenchmark("bv"));
+    const ToolflowContext context(dp);
+    RunOptions options;
+    options.decomposeRuntime = true;
+
+    const RunResult plain = runToolflow(native, dp, context, options);
+
+    SchedulerScratch scratch;
+    const RunResult cold =
+        runToolflow(native, dp, context, options, &scratch);
+    const RunResult warm =
+        runToolflow(native, dp, context, options, &scratch);
+
+    // Also a different design through the same scratch (device-state
+    // re-emplacement path), then the original point again.
+    DesignPoint other = DesignPoint::grid(2, 3, 20);
+    const ToolflowContext otherContext(other);
+    runToolflow(native, other, otherContext, options, &scratch);
+    const RunResult rewarmed =
+        runToolflow(native, dp, context, options, &scratch);
+
+    for (const RunResult *r : {&cold, &warm, &rewarmed}) {
+        EXPECT_EQ(r->sim.makespan, plain.sim.makespan);
+        EXPECT_EQ(r->sim.logFidelity, plain.sim.logFidelity);
+        EXPECT_EQ(r->computeOnlyTime, plain.computeOnlyTime);
+        EXPECT_EQ(r->sim.counts.shuttles, plain.sim.counts.shuttles);
+        EXPECT_EQ(r->sim.counts.reorderMs, plain.sim.counts.reorderMs);
+    }
+}
+
+} // namespace
+} // namespace qccd

@@ -38,6 +38,33 @@ TEST(Heating, MovePerSegment)
     EXPECT_DOUBLE_EQ(model.afterMove(1.0, 0), 1.0);
 }
 
+TEST(Heating, AfterMovesBitwiseMatchesSegmentLoop)
+{
+    // afterMoves(e, k) replaces the emitter's per-segment loop; the
+    // contract is bit-for-bit equality with applying afterMove(., 1)
+    // k times (EXPECT_EQ on doubles is exact equality). The closed
+    // form afterMove(e, k) would NOT satisfy this: the stepwise
+    // partial sums round differently, which is why the model keeps
+    // the recurrence.
+    HeatingModel model(0.1, 0.01);
+    for (double energy : {0.0, 0.1, 1.0, 3.7, 123.456, 9876.54321}) {
+        for (int segments : {0, 1, 2, 3, 7, 25, 100}) {
+            double looped = energy;
+            for (int s = 0; s < segments; ++s)
+                looped = model.afterMove(looped, 1);
+            EXPECT_EQ(model.afterMoves(energy, segments), looped)
+                << "e=" << energy << " k=" << segments;
+        }
+    }
+    // Odd k2 values too, not just the paper default.
+    HeatingModel odd(0.1, 0.0123456789);
+    double looped = 0.3;
+    for (int s = 0; s < 13; ++s)
+        looped = odd.afterMove(looped, 1);
+    EXPECT_EQ(odd.afterMoves(0.3, 13), looped);
+    EXPECT_THROW(odd.afterMoves(1.0, -1), InternalError);
+}
+
 TEST(Heating, JunctionAddsK2)
 {
     HeatingModel model(0.1, 0.01);

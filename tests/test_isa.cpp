@@ -69,6 +69,27 @@ TEST(Isa, CompiledProgramRoundTrips)
     expectSameTrace(parseIsa(text), r.trace);
 }
 
+TEST(Isa, Fig6TraceRoundTrips)
+{
+    // A real Figure 6 configuration (L6, FM, GS, paper capacity), full
+    // paper-scale application: the round trip must preserve every op
+    // of the production trace exactly.
+    const Circuit c = makeBenchmark("qft");
+    const ScheduleResult r =
+        runToolflowDetailed(c, DesignPoint::linear(6, 22));
+    ASSERT_GT(r.trace.size(), 10000u);
+    const std::string text = writeIsa(r.trace);
+    const Trace parsed = parseIsa(text);
+    expectSameTrace(parsed, r.trace);
+    // Exact double round trip (17 significant digits), not just
+    // EXPECT_DOUBLE_EQ's 4-ULP tolerance.
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        ASSERT_EQ(parsed[i].start, r.trace[i].start) << "op " << i;
+        ASSERT_EQ(parsed[i].fidelity, r.trace[i].fidelity) << "op " << i;
+        ASSERT_EQ(parsed[i].nbar, r.trace[i].nbar) << "op " << i;
+    }
+}
+
 TEST(Isa, CommentsAndBlankLinesIgnored)
 {
     const Trace t = parseIsa(

@@ -67,13 +67,18 @@ TEST(Scheduler, CrossTrapGateShuttles)
     for (QubitId q = 0; q < 8; ++q)
         c.h(q); // pin placement: 0..3 in trap 0, 4..7 in trap 1
     c.ms(0, 4);
-    Scheduler sched(c, topo, fmGs());
+    SchedulerScratch scratch;
+    Scheduler sched(c, topo, fmGs(), {}, &scratch);
     const ScheduleResult r = sched.run();
     EXPECT_EQ(r.metrics.counts.shuttles, 1);
     EXPECT_EQ(r.metrics.counts.splits, 1);
     EXPECT_EQ(r.metrics.counts.merges, 1);
     EXPECT_EQ(r.metrics.counts.moves, 1);
     EXPECT_EQ(r.metrics.counts.algorithmMs, 1);
+    // Shuttling exercised split/attach on both ends: the O(1) position
+    // index must still agree with the chain contents.
+    ASSERT_NE(scratch.deviceState(), nullptr);
+    EXPECT_TRUE(scratch.deviceState()->positionIndexConsistent());
     // Reorder: qubit 0 sits at the left end of trap 0 and must reach
     // the right end -> one GS swap (3 MS gates).
     EXPECT_EQ(r.metrics.counts.reorderMs, 3);
@@ -188,10 +193,73 @@ TEST(Scheduler, IsReorderingProducesRotations)
     for (QubitId q = 0; q < 10; ++q)
         c.h(q); // pin placement
     c.ms(0, 9);
-    Scheduler sched(c, topo, hw);
+    SchedulerScratch scratch;
+    Scheduler sched(c, topo, hw, {}, &scratch);
     const ScheduleResult r = sched.run();
     EXPECT_GT(r.metrics.counts.rotations, 0);
     EXPECT_EQ(r.metrics.counts.reorderMs, 0);
+    // IS hops permute chains in place; check the position index.
+    ASSERT_NE(scratch.deviceState(), nullptr);
+    EXPECT_TRUE(scratch.deviceState()->positionIndexConsistent());
+}
+
+TEST(Scheduler, PositionIndexConsistentAfterHeavySchedule)
+{
+    // A shuttle/eviction/pass-through heavy run on a linear device,
+    // under both reorder methods, must leave the per-ion position
+    // index agreeing with every chain (the invariant the O(1)
+    // positionOf depends on).
+    for (const ReorderMethod method :
+         {ReorderMethod::GS, ReorderMethod::IS}) {
+        const Topology topo = makeLinear(3, 6);
+        HardwareParams hw = fmGs();
+        hw.reorder = method;
+        hw.bufferSlots = 1;
+        const Circuit native = decomposeToNative([] {
+            Circuit c(14, "stress");
+            for (QubitId q = 0; q < 14; ++q)
+                c.h(q);
+            for (QubitId q = 0; q + 1 < 14; ++q)
+                c.cx(q, q == 13 - q ? q + 1 : 13 - q);
+            for (QubitId q = 0; q < 14; q += 2)
+                c.cx(q, (q + 7) % 14);
+            c.measureAll();
+            return c;
+        }());
+        SchedulerScratch scratch;
+        Scheduler sched(native, topo, hw, {}, &scratch);
+        const ScheduleResult r = sched.run();
+        EXPECT_GT(r.metrics.counts.shuttles, 0);
+        ASSERT_NE(scratch.deviceState(), nullptr);
+        EXPECT_TRUE(scratch.deviceState()->positionIndexConsistent());
+    }
+}
+
+TEST(Scheduler, ScratchReuseAcrossRunsIsBitIdentical)
+{
+    const Topology topo = makeLinear(3, 8);
+    const Circuit native = decomposeToNative([] {
+        Circuit c(12, "mix");
+        for (QubitId q = 0; q + 1 < 12; ++q)
+            c.cx(q, q + 1);
+        c.measureAll();
+        return c;
+    }());
+
+    Scheduler fresh(native, topo, fmGs());
+    const ScheduleResult expect = fresh.run();
+
+    SchedulerScratch scratch;
+    for (int round = 0; round < 3; ++round) {
+        Scheduler sched(native, topo, fmGs(), {}, &scratch);
+        const ScheduleResult r = sched.run();
+        EXPECT_EQ(r.metrics.makespan, expect.metrics.makespan);
+        EXPECT_EQ(r.metrics.logFidelity, expect.metrics.logFidelity);
+        ASSERT_EQ(r.trace.size(), expect.trace.size());
+        for (size_t i = 0; i < r.trace.size(); ++i)
+            EXPECT_EQ(r.trace[i].start, expect.trace[i].start);
+        EXPECT_TRUE(scratch.deviceState()->positionIndexConsistent());
+    }
 }
 
 TEST(Scheduler, FidelityAccumulatesOverGates)
