@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "core/export.hpp"
 #include "core/sweep_engine.hpp"
 
 int
@@ -49,5 +50,10 @@ main()
                       std::to_string(r.sim.counts.shuttles)});
     }
     std::cout << table.render();
+
+    // Raw series for external plotting and the golden check.
+    writeTextFile(toCsv(points), "ablation_buffer.csv");
+    std::cout << "\nwrote ablation_buffer.csv (" << points.size()
+              << " rows)\n";
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "core/export.hpp"
 #include "core/sweep_engine.hpp"
 
 int
@@ -52,5 +53,10 @@ main()
     std::cout << "\nfactor=1.0 is the paper's model (no recooling); "
                  "smaller factors recool chains toward the ground state "
                  "after each merge.\n";
+
+    // Raw series for external plotting and the golden check.
+    writeTextFile(toCsv(points), "ablation_cooling.csv");
+    std::cout << "wrote ablation_cooling.csv (" << points.size()
+              << " rows)\n";
     return 0;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "core/export.hpp"
 #include "core/sweep_engine.hpp"
 
 int
@@ -83,5 +84,10 @@ main()
         std::cout << "\n--- " << app << " fidelity ---\n" << fid.render();
         std::cout << "--- " << app << " time (s) ---\n" << time.render();
     }
+
+    // Raw series for external plotting and the golden check.
+    writeTextFile(toCsv(points), "fig8_microarch.csv");
+    std::cout << "\nwrote fig8_microarch.csv (" << points.size()
+              << " rows)\n";
     return 0;
 }

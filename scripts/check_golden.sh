@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Verify the figure benches still produce bit-identical metrics to the
-# committed golden CSVs (golden/). Any diff means a change altered the
-# simulator's arithmetic — intended metric changes must regenerate the
-# golden files in the same commit.
+# Verify the figure/ablation pipelines still produce bit-identical
+# metrics to the committed golden CSVs (golden/), through BOTH paths:
+#
+#   1. the compiled benches (bench/<name> writes <name>.csv), and
+#   2. the declarative sweep specs (qccd_explore --sweep
+#      examples/sweeps/<spec>.sweep writes <spec name>.csv),
+#
+# plus one sharded spec run whose concatenated outputs must reproduce
+# the unsharded file byte-for-byte. Any diff means a change altered the
+# simulator's arithmetic or the export format — intended metric changes
+# must regenerate the golden files in the same commit. Every golden CSV
+# must be covered by at least one path; spec-only scenarios (e.g. the
+# gate-fidelity sensitivity sweep) have no bench and are checked via
+# their spec alone.
 #
 # Usage: scripts/check_golden.sh [BUILD_DIR]
 #
-#   BUILD_DIR  CMake build tree containing bench/ (default: build)
+#   BUILD_DIR  CMake build tree containing bench/ and src/qccd_explore
+#              (default: build)
 #
 # The sweep engine's results are worker-count independent, so this
 # check passes for any QCCD_JOBS setting.
@@ -15,6 +26,7 @@ set -euo pipefail
 BUILD_DIR=${1:-build}
 REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
 GOLDEN_DIR="$REPO_DIR/golden"
+SWEEP_DIR="$REPO_DIR/examples/sweeps"
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
     echo "error: $BUILD_DIR/bench not found — build first:" >&2
@@ -22,6 +34,11 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
     exit 1
 fi
 BENCH_DIR=$(cd "$BUILD_DIR/bench" && pwd)
+EXPLORE=$(cd "$BUILD_DIR/src" && pwd)/qccd_explore
+if [[ ! -x "$EXPLORE" ]]; then
+    echo "error: $EXPLORE not found — build first" >&2
+    exit 1
+fi
 
 shopt -s nullglob
 golden_files=("$GOLDEN_DIR"/*.csv)
@@ -34,24 +51,86 @@ scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
 
 failures=0
+covered=""
+
+# --- Path 1: compiled benches ---------------------------------------
+mkdir -p "$scratch/bench"
 for golden_csv in "${golden_files[@]}"; do
     name=$(basename "$golden_csv" .csv)
-    echo "== $name =="
-    if ! (cd "$scratch" && "$BENCH_DIR/$name" > "$name.log" 2>&1); then
-        echo "   FAILED to run (see $scratch/$name.log)" >&2
+    [[ -x "$BENCH_DIR/$name" ]] || continue
+    echo "== bench $name =="
+    if ! (cd "$scratch/bench" && "$BENCH_DIR/$name" > "$name.log" 2>&1); then
+        echo "   FAILED to run (see $scratch/bench/$name.log)" >&2
         failures=$((failures + 1))
         continue
     fi
-    if diff -u "$golden_csv" "$scratch/$name.csv" > "$scratch/$name.diff"; then
+    if diff -u "$golden_csv" "$scratch/bench/$name.csv" \
+            > "$scratch/bench/$name.diff"; then
         echo "   matches golden"
+        covered="$covered $name"
     else
         echo "   METRICS DIFFER from golden/$name.csv:" >&2
-        head -20 "$scratch/$name.diff" >&2
+        head -20 "$scratch/bench/$name.diff" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+# --- Path 2: declarative sweep specs --------------------------------
+mkdir -p "$scratch/spec"
+for sweep in "$SWEEP_DIR"/*.sweep; do
+    spec=$(basename "$sweep")
+    echo "== sweep $spec =="
+    if ! (cd "$scratch/spec" && "$EXPLORE" --sweep "$sweep" \
+            > "$spec.log" 2>&1); then
+        echo "   FAILED to run (see $scratch/spec/$spec.log)" >&2
+        failures=$((failures + 1))
+    fi
+done
+for spec_csv in "$scratch/spec"/*.csv; do
+    name=$(basename "$spec_csv" .csv)
+    if [[ ! -f "$GOLDEN_DIR/$name.csv" ]]; then
+        echo "== $name.csv (spec output) ==" >&2
+        echo "   NO golden/$name.csv — commit one" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if diff -u "$GOLDEN_DIR/$name.csv" "$spec_csv" \
+            > "$scratch/spec/$name.diff"; then
+        echo "   spec-driven $name.csv matches golden"
+        covered="$covered $name"
+    else
+        echo "   SPEC-DRIVEN $name.csv DIFFERS from golden:" >&2
+        head -20 "$scratch/spec/$name.diff" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+# --- Sharded spec run: concatenation must be byte-identical ---------
+echo "== sweep fig6.sweep, shards 0/2 + 1/2 =="
+mkdir -p "$scratch/shard"
+if (cd "$scratch/shard" &&
+        "$EXPLORE" --sweep "$SWEEP_DIR/fig6.sweep" --shard 0/2 \
+            --out s0.csv > s0.log 2>&1 &&
+        "$EXPLORE" --sweep "$SWEEP_DIR/fig6.sweep" --shard 1/2 \
+            --out s1.csv > s1.log 2>&1 &&
+        cat s0.csv s1.csv > union.csv &&
+        cmp -s union.csv "$GOLDEN_DIR/fig6_trap_sizing.csv"); then
+    echo "   shard union matches golden"
+else
+    echo "   SHARD UNION DIFFERS from golden/fig6_trap_sizing.csv" >&2
+    failures=$((failures + 1))
+fi
+
+# --- Every golden must have been checked by some path ---------------
+for golden_csv in "${golden_files[@]}"; do
+    name=$(basename "$golden_csv" .csv)
+    if [[ " $covered " != *" $name "* ]]; then
+        echo "golden/$name.csv was not produced by any bench or sweep" >&2
         failures=$((failures + 1))
     fi
 done
 
 if [[ $failures -eq 0 ]]; then
-    echo "all figure bench outputs match the committed golden metrics"
+    echo "all bench and spec-driven outputs match the committed golden metrics"
 fi
 exit "$failures"

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Line-coverage report for src/, with an enforced floor.
+#
+# Usage: scripts/coverage.sh [BUILD_DIR] [--min PCT] [--out DIR]
+#
+#   BUILD_DIR  tree configured with -DQCCD_COVERAGE=ON and already
+#              exercised (run ctest first so .gcda files exist)
+#   --min PCT  fail (exit 1) if total line coverage of src/ is below
+#              PCT percent (default: 0, report only)
+#   --out DIR  where the report lands (default: BUILD_DIR/coverage)
+#
+# Aggregation uses gcov's JSON intermediate format (GCC >= 9), so the
+# only hard dependency beyond the compiler is python3. When lcov is
+# installed an lcov tracefile (coverage.info) is emitted too, for
+# genhtml and CI artifact consumers; the enforced number comes from the
+# gcov path either way. The floor guards the *measured baseline*: it
+# should track the value printed by this script, minus a small margin
+# for compiler-version line-attribution drift (see .github/workflows).
+set -euo pipefail
+
+BUILD_DIR=build
+MIN_PCT=0
+OUT_DIR=""
+while [[ $# -gt 0 ]]; do
+    case $1 in
+      --min) MIN_PCT=$2; shift 2 ;;
+      --out) OUT_DIR=$2; shift 2 ;;
+      *) BUILD_DIR=$1; shift ;;
+    esac
+done
+OUT_DIR=${OUT_DIR:-$BUILD_DIR/coverage}
+
+REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
+if [[ ! -d "$BUILD_DIR" ]]; then
+    echo "error: build dir '$BUILD_DIR' not found" >&2
+    exit 1
+fi
+BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
+
+mapfile -t gcda < <(find "$BUILD_DIR" -name '*.gcda' | sort)
+if [[ ${#gcda[@]} -eq 0 ]]; then
+    echo "error: no .gcda files under $BUILD_DIR" >&2
+    echo "  configure with -DQCCD_COVERAGE=ON and run ctest first" >&2
+    exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+OUT_DIR=$(cd "$OUT_DIR" && pwd)
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+# gcov drops one .gcov.json.gz per source next to its output; aggregate
+# them for files under src/ (tests and benches measure the tests, not
+# the product).
+(cd "$scratch" && gcov --json-format --preserve-paths \
+    "${gcda[@]}" > /dev/null 2> gcov.log) || {
+    echo "error: gcov failed:" >&2
+    cat "$scratch/gcov.log" >&2
+    exit 1
+}
+
+python3 - "$scratch" "$REPO_DIR" "$OUT_DIR" <<'EOF'
+import glob, gzip, json, os, sys
+
+scratch, repo, out_dir = sys.argv[1:4]
+prefix = os.path.join(repo, "src") + os.sep
+per_file = {}
+for path in glob.glob(os.path.join(scratch, "*.gcov.json.gz")):
+    with gzip.open(path, "rt") as fh:
+        data = json.load(fh)
+    for f in data.get("files", []):
+        name = os.path.normpath(
+            os.path.join(data.get("current_working_directory", ""),
+                         f["file"]))
+        if not name.startswith(prefix):
+            continue
+        lines = per_file.setdefault(name, {})
+        # The same source is measured by many test binaries: a line
+        # counts as covered if any run executed it.
+        for line in f["lines"]:
+            no = line["line_number"]
+            lines[no] = lines.get(no, 0) or (1 if line["count"] else 0)
+
+rows = []
+total = covered = 0
+for name in sorted(per_file):
+    lines = per_file[name]
+    n, c = len(lines), sum(lines.values())
+    if n == 0:
+        continue  # header with no executable lines in any TU
+    total += n
+    covered += c
+    rows.append((name[len(prefix):], c, n))
+
+pct = 100.0 * covered / total if total else 0.0
+with open(os.path.join(out_dir, "src_coverage.txt"), "w") as fh:
+    for name, c, n in rows:
+        fh.write(f"{100.0 * c / n:6.2f}%  {c:5}/{n:<5}  {name}\n")
+    fh.write(f"\nTOTAL src/ line coverage: {pct:.2f}% "
+             f"({covered}/{total} lines)\n")
+print(f"TOTAL src/ line coverage: {pct:.2f}% ({covered}/{total} lines)")
+with open(os.path.join(out_dir, "total_percent.txt"), "w") as fh:
+    fh.write(f"{pct:.2f}\n")
+EOF
+
+# Optional lcov tracefile for genhtml / artifact consumers.
+if command -v lcov > /dev/null 2>&1; then
+    lcov --capture --directory "$BUILD_DIR" \
+         --output-file "$OUT_DIR/coverage.info" > /dev/null 2>&1 &&
+    lcov --extract "$OUT_DIR/coverage.info" "$REPO_DIR/src/*" \
+         --output-file "$OUT_DIR/coverage.info" > /dev/null 2>&1 &&
+    lcov --summary "$OUT_DIR/coverage.info" 2>&1 | sed 's/^/  lcov: /' ||
+    echo "  (lcov capture failed; gcov summary above is authoritative)"
+fi
+
+echo "report: $OUT_DIR/src_coverage.txt"
+
+pct=$(cat "$OUT_DIR/total_percent.txt")
+if python3 -c "import sys; sys.exit(0 if float('$pct') < float('$MIN_PCT') else 1)"; then
+    echo "FAIL: src/ line coverage $pct% is below the $MIN_PCT% floor" >&2
+    exit 1
+fi
+echo "coverage floor ($MIN_PCT%) satisfied"

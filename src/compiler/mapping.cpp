@@ -7,6 +7,25 @@
 namespace qccd
 {
 
+std::string
+mappingPolicyName(MappingPolicy policy)
+{
+    switch (policy) {
+      case MappingPolicy::Packed: return "packed";
+      case MappingPolicy::Balanced: return "balanced";
+    }
+    throw InternalError("unknown MappingPolicy");
+}
+
+MappingPolicy
+mappingPolicyFromName(const std::string &name)
+{
+    if (name == "packed") return MappingPolicy::Packed;
+    if (name == "balanced") return MappingPolicy::Balanced;
+    throw ConfigError("unknown mapping policy '" + name +
+                      "' (expected packed or balanced)");
+}
+
 std::vector<QubitId>
 firstUseOrder(const Circuit &circuit)
 {

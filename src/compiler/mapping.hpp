@@ -33,6 +33,12 @@ enum class MappingPolicy
     Balanced
 };
 
+/** Lowercase policy name ("packed" / "balanced"). */
+std::string mappingPolicyName(MappingPolicy policy);
+
+/** Parse a policy name; throws ConfigError on bad input. */
+MappingPolicy mappingPolicyFromName(const std::string &name);
+
 /** Result of the initial mapping. */
 struct InitialMapping
 {

@@ -1,6 +1,8 @@
 #include "core/export.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -57,25 +59,144 @@ makeRow(const SweepPoint &p)
     return row;
 }
 
+/** JSON string escape: application labels and topology specs can carry
+ *  arbitrary user text (e.g. a QASM file stem with a quote in it). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
 } // namespace
+
+ExportFormat
+exportFormatFromName(const std::string &name)
+{
+    if (name == "csv")
+        return ExportFormat::Csv;
+    if (name == "json")
+        return ExportFormat::Json;
+    throw ConfigError("unknown export format '" + name +
+                      "' (expected csv or json)");
+}
+
+std::string
+sweepCsvHeader()
+{
+    return "application,topology,capacity,gate,reorder,time_s,"
+           "compute_s,comm_s,fidelity,log_fidelity,max_energy_quanta,"
+           "ms_gates,reorder_ms,shuttles,splits,merges,evictions";
+}
+
+std::string
+sweepCsvRow(const SweepPoint &point)
+{
+    const Row r = makeRow(point);
+    std::ostringstream out;
+    out.precision(12);
+    out << r.application << ',' << r.topology << ',' << r.capacity << ','
+        << r.gate << ',' << r.reorder << ',' << r.timeS << ','
+        << r.computeS << ',' << r.commS << ',' << r.fidelity << ','
+        << r.logFidelity << ',' << r.maxEnergy << ',' << r.msGates << ','
+        << r.reorderMs << ',' << r.shuttles << ',' << r.splits << ','
+        << r.merges << ',' << r.evictions;
+    return out.str();
+}
+
+std::string
+sweepJsonRow(const SweepPoint &point)
+{
+    const Row r = makeRow(point);
+    std::ostringstream out;
+    out.precision(12);
+    out << "{\"application\": \"" << jsonEscape(r.application)
+        << "\", \"topology\": \"" << jsonEscape(r.topology)
+        << "\", \"capacity\": " << r.capacity << ", \"gate\": \""
+        << r.gate << "\", \"reorder\": \"" << r.reorder
+        << "\", \"time_s\": " << r.timeS << ", \"compute_s\": "
+        << r.computeS << ", \"comm_s\": " << r.commS
+        << ", \"fidelity\": " << r.fidelity
+        << ", \"log_fidelity\": " << r.logFidelity
+        << ", \"max_energy_quanta\": " << r.maxEnergy
+        << ", \"ms_gates\": " << r.msGates << ", \"reorder_ms\": "
+        << r.reorderMs << ", \"shuttles\": " << r.shuttles
+        << ", \"splits\": " << r.splits << ", \"merges\": "
+        << r.merges << ", \"evictions\": " << r.evictions << "}";
+    return out.str();
+}
+
+SweepRowWriter::SweepRowWriter(std::ostream &out, ExportFormat format,
+                               bool with_header, size_t rows_before)
+    : out_(out), format_(format), rows_(rows_before)
+{
+    fatalUnless(rows_before == 0 || format_ == ExportFormat::Csv,
+                "only CSV exports can be resumed mid-array");
+    if (!with_header)
+        return;
+    if (format_ == ExportFormat::Csv)
+        out_ << sweepCsvHeader() << '\n';
+    else
+        out_ << "[\n";
+    out_.flush();
+    fatalUnless(out_.good(), "error writing sweep export header");
+}
+
+void
+SweepRowWriter::write(const SweepPoint &point)
+{
+    panicUnless(!finished_, "write after SweepRowWriter::finish");
+    if (format_ == ExportFormat::Csv) {
+        out_ << sweepCsvRow(point) << '\n';
+    } else {
+        if (rows_ > 0)
+            out_ << ",\n";
+        out_ << "  " << sweepJsonRow(point);
+    }
+    ++rows_;
+    out_.flush();
+    fatalUnless(out_.good(), "error writing sweep export row");
+}
+
+void
+SweepRowWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (format_ == ExportFormat::Json) {
+        out_ << (rows_ > 0 ? "\n]\n" : "]\n");
+        out_.flush();
+        fatalUnless(out_.good(), "error finishing sweep export");
+    }
+}
 
 std::string
 toCsv(const std::vector<SweepPoint> &points)
 {
     std::ostringstream out;
-    out.precision(12);
-    out << "application,topology,capacity,gate,reorder,time_s,"
-           "compute_s,comm_s,fidelity,log_fidelity,max_energy_quanta,"
-           "ms_gates,reorder_ms,shuttles,splits,merges,evictions\n";
-    for (const SweepPoint &p : points) {
-        const Row r = makeRow(p);
-        out << r.application << ',' << r.topology << ',' << r.capacity
-            << ',' << r.gate << ',' << r.reorder << ',' << r.timeS << ','
-            << r.computeS << ',' << r.commS << ',' << r.fidelity << ','
-            << r.logFidelity << ',' << r.maxEnergy << ',' << r.msGates
-            << ',' << r.reorderMs << ',' << r.shuttles << ','
-            << r.splits << ',' << r.merges << ',' << r.evictions << '\n';
-    }
+    SweepRowWriter writer(out, ExportFormat::Csv);
+    for (const SweepPoint &p : points)
+        writer.write(p);
+    writer.finish();
     return out.str();
 }
 
@@ -83,26 +204,10 @@ std::string
 toJson(const std::vector<SweepPoint> &points)
 {
     std::ostringstream out;
-    out.precision(12);
-    out << "[\n";
-    for (size_t i = 0; i < points.size(); ++i) {
-        const Row r = makeRow(points[i]);
-        out << "  {\"application\": \"" << r.application
-            << "\", \"topology\": \"" << r.topology
-            << "\", \"capacity\": " << r.capacity << ", \"gate\": \""
-            << r.gate << "\", \"reorder\": \"" << r.reorder
-            << "\", \"time_s\": " << r.timeS << ", \"compute_s\": "
-            << r.computeS << ", \"comm_s\": " << r.commS
-            << ", \"fidelity\": " << r.fidelity
-            << ", \"log_fidelity\": " << r.logFidelity
-            << ", \"max_energy_quanta\": " << r.maxEnergy
-            << ", \"ms_gates\": " << r.msGates << ", \"reorder_ms\": "
-            << r.reorderMs << ", \"shuttles\": " << r.shuttles
-            << ", \"splits\": " << r.splits << ", \"merges\": "
-            << r.merges << ", \"evictions\": " << r.evictions << "}"
-            << (i + 1 < points.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
+    SweepRowWriter writer(out, ExportFormat::Json);
+    for (const SweepPoint &p : points)
+        writer.write(p);
+    writer.finish();
     return out.str();
 }
 

@@ -9,6 +9,7 @@
 #ifndef QCCD_CORE_EXPORT_HPP
 #define QCCD_CORE_EXPORT_HPP
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -17,11 +18,70 @@
 namespace qccd
 {
 
+/** Output syntax of a sweep export. */
+enum class ExportFormat
+{
+    Csv, ///< one header line + one comma-separated row per point
+    Json ///< a JSON array of objects (same fields as the CSV columns)
+};
+
+/** Parse "csv" / "json"; throws ConfigError on anything else. */
+ExportFormat exportFormatFromName(const std::string &name);
+
+/** The CSV header line (no trailing newline). Columns: application,
+ *  topology, capacity, gate, reorder, time_s, compute_s, comm_s,
+ *  fidelity, log_fidelity, max_energy_quanta, ms_gates, reorder_ms,
+ *  shuttles, splits, merges, evictions. */
+std::string sweepCsvHeader();
+
+/** One CSV row for @p point (no trailing newline). */
+std::string sweepCsvRow(const SweepPoint &point);
+
+/** One JSON object for @p point (no surrounding array/comma). */
+std::string sweepJsonRow(const SweepPoint &point);
+
 /**
- * Render sweep points as CSV with one row per point and the columns:
- * application, topology, capacity, gate, reorder, time_s, compute_s,
- * comm_s, fidelity, log_fidelity, max_energy_quanta, ms_gates,
- * reorder_ms, shuttles, splits, merges, evictions.
+ * Streaming row writer over an ostream: the single formatting path for
+ * sweep exports, shared by the batch helpers below, the figure benches
+ * and the declarative sweep runner (qccd_explore --sweep). Rows are
+ * written as they arrive, so a partial file of a killed run is valid
+ * CSV and can be resumed by counting its rows.
+ *
+ * For byte-stable sharded output, the header is optional: shard 0
+ * writes it, later shards do not, and concatenating the shard files in
+ * index order reproduces the unsharded export exactly.
+ */
+class SweepRowWriter
+{
+  public:
+    /**
+     * @param out destination stream (kept by reference)
+     * @param format CSV or JSON
+     * @param with_header write the CSV header / JSON opening bracket
+     * @param rows_before rows already in the destination (resumed CSV
+     *        appends); used only to place JSON separators correctly
+     */
+    SweepRowWriter(std::ostream &out, ExportFormat format,
+                   bool with_header = true, size_t rows_before = 0);
+
+    /** Append one point (flushes the stream). */
+    void write(const SweepPoint &point);
+
+    /** Close the export (JSON array bracket; no-op for CSV). */
+    void finish();
+
+    size_t rowsWritten() const { return rows_; }
+
+  private:
+    std::ostream &out_;
+    ExportFormat format_;
+    size_t rows_;
+    bool finished_ = false;
+};
+
+/**
+ * Render sweep points as CSV (header + rows, one per point); see
+ * sweepCsvHeader() for the columns.
  */
 std::string toCsv(const std::vector<SweepPoint> &points);
 

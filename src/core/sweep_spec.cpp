@@ -1,0 +1,721 @@
+#include "core/sweep_spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "benchgen/benchgen.hpp"
+#include "circuit/qasm/parser.hpp"
+#include "common/error.hpp"
+#include "compiler/mapping.hpp"
+#include "core/sweep_engine.hpp"
+
+namespace qccd
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader. Hand-rolled on purpose: the container bakes in
+// no JSON dependency, the grammar we need is small, and owning the
+// parser lets every diagnostic carry origin:line:column. Two
+// conveniences beyond strict JSON, both common in config dialects:
+// `#` comments to end of line and trailing commas in objects/arrays.
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Object,
+        Array,
+        String,
+        Number,
+        Bool,
+        Null
+    };
+
+    Kind kind = Kind::Null;
+    // Members keep declaration order: grid axes expand in the order the
+    // file declares them, which is what lets a spec reproduce a
+    // compiled bench's exact row order.
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> items;
+    std::string text;
+    double number = 0;
+    bool boolean = false;
+    int line = 0;
+    int column = 0;
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &source, const std::string &origin)
+        : src_(source), origin_(origin)
+    {
+    }
+
+    JsonValue parseDocument()
+    {
+        const JsonValue root = parseValue(0);
+        skipSpace();
+        check(pos_ >= src_.size(), "trailing content after document");
+        return root;
+    }
+
+    [[noreturn]] void failAt(const JsonValue &value,
+                             const std::string &msg) const
+    {
+        fail(value.line, value.column, msg);
+    }
+
+  private:
+    [[noreturn]] void fail(int line, int column,
+                           const std::string &msg) const
+    {
+        std::ostringstream out;
+        out << origin_ << ":" << line << ":" << column << ": " << msg;
+        throw ConfigError(out.str());
+    }
+
+    void check(bool ok, const std::string &msg) const
+    {
+        if (!ok)
+            fail(line_, column_, msg);
+    }
+
+    bool atEnd() const { return pos_ >= src_.size(); }
+
+    char peek() const { return src_[pos_]; }
+
+    char advance()
+    {
+        const char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    void skipSpace()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '#') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    JsonValue parseValue(int depth)
+    {
+        check(depth < kMaxDepth, "spec nesting too deep");
+        skipSpace();
+        check(!atEnd(), "unexpected end of input (expected a value)");
+        JsonValue value;
+        value.line = line_;
+        value.column = column_;
+        const char c = peek();
+        if (c == '{') {
+            parseObject(value, depth);
+        } else if (c == '[') {
+            parseArray(value, depth);
+        } else if (c == '"') {
+            value.kind = JsonValue::Kind::String;
+            value.text = parseString();
+        } else if (c == '-' || (c >= '0' && c <= '9')) {
+            parseNumber(value);
+        } else if (std::isalpha(static_cast<unsigned char>(c))) {
+            parseKeyword(value);
+        } else {
+            fail(line_, column_,
+                 std::string("unexpected character '") + c + "'");
+        }
+        return value;
+    }
+
+    void parseObject(JsonValue &value, int depth)
+    {
+        value.kind = JsonValue::Kind::Object;
+        advance(); // '{'
+        skipSpace();
+        if (!atEnd() && peek() == '}') {
+            advance();
+            return;
+        }
+        while (true) {
+            skipSpace();
+            check(!atEnd() && peek() == '"',
+                  "expected a quoted object key");
+            const int key_line = line_;
+            const int key_column = column_;
+            const std::string key = parseString();
+            for (const auto &member : value.members)
+                if (member.first == key)
+                    fail(key_line, key_column,
+                         "duplicate key \"" + key + "\"");
+            skipSpace();
+            check(!atEnd() && peek() == ':', "expected ':' after key");
+            advance();
+            value.members.emplace_back(key, parseValue(depth + 1));
+            skipSpace();
+            check(!atEnd(), "unterminated object (expected ',' or '}')");
+            if (peek() == ',') {
+                advance();
+                skipSpace();
+                check(!atEnd(),
+                      "unterminated object (expected ',' or '}')");
+                if (peek() == '}') { // trailing comma
+                    advance();
+                    return;
+                }
+                continue;
+            }
+            check(peek() == '}', "expected ',' or '}' in object");
+            advance();
+            return;
+        }
+    }
+
+    void parseArray(JsonValue &value, int depth)
+    {
+        value.kind = JsonValue::Kind::Array;
+        advance(); // '['
+        skipSpace();
+        if (!atEnd() && peek() == ']') {
+            advance();
+            return;
+        }
+        while (true) {
+            value.items.push_back(parseValue(depth + 1));
+            skipSpace();
+            check(!atEnd(), "unterminated array (expected ',' or ']')");
+            if (peek() == ',') {
+                advance();
+                skipSpace();
+                check(!atEnd(),
+                      "unterminated array (expected ',' or ']')");
+                if (peek() == ']') { // trailing comma
+                    advance();
+                    return;
+                }
+                continue;
+            }
+            check(peek() == ']', "expected ',' or ']' in array");
+            advance();
+            return;
+        }
+    }
+
+    std::string parseString()
+    {
+        advance(); // opening quote
+        std::string out;
+        while (true) {
+            check(!atEnd(), "unterminated string");
+            const char c = advance();
+            if (c == '"')
+                return out;
+            check(c != '\n', "unterminated string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            check(!atEnd(), "unterminated escape sequence");
+            const char esc = advance();
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case 'r': out.push_back('\r'); break;
+              default:
+                fail(line_, column_,
+                     std::string("unsupported escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    void parseNumber(JsonValue &value)
+    {
+        value.kind = JsonValue::Kind::Number;
+        const size_t start = pos_;
+        auto digits = [&]() {
+            size_t n = 0;
+            while (!atEnd() && peek() >= '0' && peek() <= '9') {
+                advance();
+                ++n;
+            }
+            check(n > 0, "malformed number");
+        };
+        if (peek() == '-')
+            advance();
+        digits();
+        if (!atEnd() && peek() == '.') {
+            advance();
+            digits();
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            advance();
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                advance();
+            digits();
+        }
+        // from_chars is locale-independent and correctly rounded, so a
+        // spec literal parses to the same double the C++ compiler gives
+        // the equivalent source literal — required for bit-identical
+        // spec-vs-bench reproductions.
+        const char *first = src_.data() + start;
+        const char *last = src_.data() + pos_;
+        const auto [ptr, ec] =
+            std::from_chars(first, last, value.number);
+        check(ec == std::errc() && ptr == last,
+              "number out of range");
+        value.text.assign(first, last);
+    }
+
+    void parseKeyword(JsonValue &value)
+    {
+        std::string word;
+        while (!atEnd() &&
+               std::isalpha(static_cast<unsigned char>(peek())))
+            word.push_back(advance());
+        if (word == "true") {
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = true;
+        } else if (word == "false") {
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = false;
+        } else if (word == "null") {
+            value.kind = JsonValue::Kind::Null;
+        } else {
+            fail(value.line, value.column,
+                 "unknown keyword '" + word + "'");
+        }
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    const std::string &src_;
+    std::string origin_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+// ---------------------------------------------------------------------
+// Schema interpretation: JSON tree -> expanded PlannedPoints.
+// ---------------------------------------------------------------------
+
+/** Hard cap on expanded points, so a typo'd grid cannot OOM the host. */
+constexpr size_t kMaxPoints = 1u << 20;
+
+/**
+ * Every grid key that takes axis values. One table drives the
+ * membership check, the unknown-key error text, and (via
+ * applyAxisValue's dispatch, which panics on anything not listed here)
+ * keeps the three from drifting apart.
+ */
+constexpr const char *kAxisKeys[] = {"apps",    "topology", "capacity",
+                                     "gate",    "reorder",  "buffer",
+                                     "policy",  "params"};
+
+std::string
+kindName(JsonValue::Kind kind)
+{
+    switch (kind) {
+      case JsonValue::Kind::Object: return "object";
+      case JsonValue::Kind::Array: return "array";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Number: return "number";
+      case JsonValue::Kind::Bool: return "boolean";
+      case JsonValue::Kind::Null: return "null";
+    }
+    return "value";
+}
+
+class SpecBuilder
+{
+  public:
+    SpecBuilder(const JsonParser &parser, const std::string &base_dir)
+        : parser_(parser), baseDir_(base_dir)
+    {
+    }
+
+    SweepSpec build(const JsonValue &root)
+    {
+        expect(root, JsonValue::Kind::Object, "spec document");
+        SweepSpec spec;
+        const JsonValue *sweeps = nullptr;
+        for (const auto &[key, value] : root.members) {
+            if (key == "name") {
+                expect(value, JsonValue::Kind::String, "\"name\"");
+                spec.name = value.text;
+                checkName(value);
+            } else if (key == "description") {
+                expect(value, JsonValue::Kind::String,
+                       "\"description\"");
+                spec.description = value.text;
+            } else if (key == "sweeps") {
+                expect(value, JsonValue::Kind::Array, "\"sweeps\"");
+                sweeps = &value;
+            } else {
+                parser_.failAt(value,
+                               "unknown spec key \"" + key +
+                                   "\" (known: name, description, "
+                                   "sweeps)");
+            }
+        }
+        if (spec.name.empty())
+            parser_.failAt(root, "spec is missing \"name\"");
+        if (sweeps == nullptr || sweeps->items.empty())
+            parser_.failAt(root,
+                           "spec needs a non-empty \"sweeps\" array");
+        for (const JsonValue &grid : sweeps->items)
+            expandGrid(grid, spec.points);
+        return spec;
+    }
+
+  private:
+    void expect(const JsonValue &value, JsonValue::Kind kind,
+                const std::string &what) const
+    {
+        if (value.kind != kind)
+            parser_.failAt(value, what + " must be a " +
+                                      kindName(kind) + ", got " +
+                                      kindName(value.kind));
+    }
+
+    /** The spec name becomes an output file stem; keep it shell-safe. */
+    void checkName(const JsonValue &value) const
+    {
+        if (value.text.empty())
+            parser_.failAt(value, "\"name\" must not be empty");
+        for (const char c : value.text) {
+            const bool ok =
+                std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '-' || c == '.';
+            if (!ok)
+                parser_.failAt(value,
+                               "\"name\" may only contain letters, "
+                               "digits, '_', '-' and '.'");
+        }
+    }
+
+    int intOf(const JsonValue &value, const std::string &what) const
+    {
+        expect(value, JsonValue::Kind::Number, what);
+        const int integral = static_cast<int>(value.number);
+        if (static_cast<double>(integral) != value.number)
+            parser_.failAt(value, what + " must be an integer");
+        return integral;
+    }
+
+    /**
+     * Run a name-lookup helper (gate/reorder/policy names, parameter
+     * keys) whose ConfigErrors carry no document position, and re-raise
+     * them anchored at @p value. Errors thrown via failAt() elsewhere
+     * already carry their position and must not pass through this (the
+     * prefix would double up).
+     */
+    template <typename Fn>
+    auto lookupAt(const JsonValue &value, Fn &&fn) const
+    {
+        try {
+            return fn();
+        } catch (const ConfigError &err) {
+            parser_.failAt(value, err.what());
+        }
+    }
+
+    /** Apply one axis value to a point under construction. */
+    void applyAxisValue(const std::string &key, const JsonValue &value,
+                        PlannedPoint &point) const
+    {
+        if (key == "apps") {
+            expect(value, JsonValue::Kind::String, "application");
+            setApplication(value.text, value, point);
+        } else if (key == "topology") {
+            expect(value, JsonValue::Kind::String, "\"topology\"");
+            point.design.topologySpec = value.text;
+        } else if (key == "capacity") {
+            point.design.trapCapacity = intOf(value, "\"capacity\"");
+        } else if (key == "gate") {
+            expect(value, JsonValue::Kind::String, "\"gate\"");
+            point.design.hw.gateImpl = lookupAt(
+                value, [&] { return gateImplFromName(value.text); });
+        } else if (key == "reorder") {
+            expect(value, JsonValue::Kind::String, "\"reorder\"");
+            point.design.hw.reorder = lookupAt(value, [&] {
+                return reorderMethodFromName(value.text);
+            });
+        } else if (key == "buffer") {
+            point.design.hw.bufferSlots = intOf(value, "\"buffer\"");
+        } else if (key == "policy") {
+            expect(value, JsonValue::Kind::String, "\"policy\"");
+            point.options.mappingPolicy = lookupAt(value, [&] {
+                return mappingPolicyFromName(value.text);
+            });
+        } else if (key == "params") {
+            expect(value, JsonValue::Kind::Object, "\"params\"");
+            for (const auto &[param, pv] : value.members) {
+                expect(pv, JsonValue::Kind::Number,
+                       "parameter \"" + param + "\"");
+                lookupAt(pv, [&] {
+                    applyHardwareOverride(point.design.hw, param,
+                                          pv.number);
+                });
+            }
+        } else {
+            panicUnless(false, "axis key missing from kAxisKeys");
+        }
+    }
+
+    void setApplication(const std::string &text, const JsonValue &value,
+                        PlannedPoint &point) const
+    {
+        const std::string qasm_prefix = "qasm:";
+        if (text.rfind(qasm_prefix, 0) == 0) {
+            std::string path = text.substr(qasm_prefix.size());
+            if (path.empty())
+                parser_.failAt(value, "empty path after \"qasm:\"");
+            if (path[0] != '/' && !baseDir_.empty())
+                path = baseDir_ + "/" + path;
+            point.qasmPath = path;
+            point.application = stemOf(path);
+            return;
+        }
+        // Builtin applications are validated now so a typo fails at
+        // parse time, not points deep into a long run.
+        bool known = false;
+        for (const BenchmarkSpec &bench : benchmarkList())
+            known = known || bench.name == text;
+        if (!known)
+            parser_.failAt(value, "unknown application '" + text +
+                                      "' (see qccd_explore --list, or "
+                                      "use \"qasm:FILE\")");
+        point.qasmPath.clear();
+        point.application = text;
+    }
+
+    static std::string stemOf(const std::string &path)
+    {
+        const size_t slash = path.find_last_of('/');
+        const size_t start = slash == std::string::npos ? 0 : slash + 1;
+        size_t end = path.find_last_of('.');
+        if (end == std::string::npos || end <= start)
+            end = path.size();
+        return path.substr(start, end - start);
+    }
+
+    void parseOptions(const JsonValue &value, RunOptions &options) const
+    {
+        expect(value, JsonValue::Kind::Object, "\"options\"");
+        for (const auto &[key, v] : value.members) {
+            if (key == "decompose_runtime") {
+                expect(v, JsonValue::Kind::Bool,
+                       "\"decompose_runtime\"");
+                options.decomposeRuntime = v.boolean;
+            } else {
+                parser_.failAt(v, "unknown option \"" + key +
+                                      "\" (known: decompose_runtime)");
+            }
+        }
+    }
+
+    void expandGrid(const JsonValue &grid,
+                    std::vector<PlannedPoint> &out) const
+    {
+        expect(grid, JsonValue::Kind::Object, "sweep grid");
+
+        // An axis per array-valued key, in declaration order (first
+        // declared varies slowest); scalars fix the value grid-wide.
+        struct Axis
+        {
+            std::string key;
+            const JsonValue *values; // array node
+        };
+        std::vector<Axis> axes;
+        PlannedPoint base;
+        bool have_apps = false;
+
+        for (const auto &[key, value] : grid.members) {
+            if (key == "options") {
+                parseOptions(value, base.options);
+                continue;
+            }
+            bool known = false;
+            for (const char *axis_key : kAxisKeys)
+                known = known || key == axis_key;
+            if (!known) {
+                std::string list;
+                for (const char *axis_key : kAxisKeys)
+                    list += std::string(axis_key) + ", ";
+                parser_.failAt(value, "unknown grid key \"" + key +
+                                          "\" (known: " + list +
+                                          "options)");
+            }
+            have_apps = have_apps || key == "apps";
+            // "params" takes an object per value, so a bare object is
+            // a scalar there, not an axis.
+            const bool is_axis = value.kind == JsonValue::Kind::Array;
+            if (is_axis) {
+                if (value.items.empty())
+                    parser_.failAt(value, "axis \"" + key +
+                                              "\" must not be empty");
+                axes.push_back({key, &value});
+            } else {
+                applyAxisValue(key, value, base);
+            }
+        }
+        if (!have_apps)
+            parser_.failAt(grid, "sweep grid is missing \"apps\"");
+
+        size_t total = 1;
+        for (const Axis &axis : axes) {
+            const size_t n = axis.values->items.size();
+            if (total > kMaxPoints / n)
+                parser_.failAt(grid,
+                               "grid expands to too many points");
+            total *= n;
+        }
+        if (out.size() > kMaxPoints - total)
+            parser_.failAt(grid, "spec expands to too many points");
+
+        // Odometer over the axes: first axis is the slowest digit.
+        std::vector<size_t> index(axes.size(), 0);
+        for (size_t produced = 0; produced < total; ++produced) {
+            PlannedPoint point = base;
+            for (size_t a = 0; a < axes.size(); ++a)
+                applyAxisValue(axes[a].key,
+                               axes[a].values->items[index[a]], point);
+            out.push_back(std::move(point));
+            for (size_t a = axes.size(); a-- > 0;) {
+                if (++index[a] < axes[a].values->items.size())
+                    break;
+                index[a] = 0;
+            }
+        }
+    }
+
+    const JsonParser &parser_;
+    std::string baseDir_;
+};
+
+} // namespace
+
+SweepSpec
+parseSweepSpec(const std::string &text, const std::string &origin,
+               const std::string &base_dir)
+{
+    JsonParser parser(text, origin);
+    const JsonValue root = parser.parseDocument();
+    return SpecBuilder(parser, base_dir).build(root);
+}
+
+SweepSpec
+parseSweepSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalUnless(in.good(), "cannot read sweep spec '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    fatalUnless(!in.bad(), "error reading sweep spec '" + path + "'");
+    const size_t slash = path.find_last_of('/');
+    const std::string base_dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    return parseSweepSpec(text.str(), path, base_dir);
+}
+
+SweepShard
+parseShard(const std::string &text)
+{
+    const size_t slash = text.find('/');
+    fatalUnless(slash != std::string::npos,
+                "shard must be I/N, e.g. 0/4; got '" + text + "'");
+    SweepShard shard;
+    const char *begin = text.data();
+    auto [iptr, iec] =
+        std::from_chars(begin, begin + slash, shard.index);
+    auto [nptr, nec] = std::from_chars(begin + slash + 1,
+                                       begin + text.size(), shard.count);
+    fatalUnless(iec == std::errc() && iptr == begin + slash &&
+                    nec == std::errc() &&
+                    nptr == begin + text.size(),
+                "shard must be I/N, e.g. 0/4; got '" + text + "'");
+    fatalUnless(shard.count >= 1, "shard count must be at least 1");
+    fatalUnless(shard.index >= 0 && shard.index < shard.count,
+                "shard index must be in [0, count)");
+    return shard;
+}
+
+std::pair<size_t, size_t>
+shardRange(size_t total, int index, int count)
+{
+    fatalUnless(count >= 1, "shard count must be at least 1");
+    fatalUnless(index >= 0 && index < count,
+                "shard index must be in [0, count)");
+    const size_t n = static_cast<size_t>(count);
+    const size_t i = static_cast<size_t>(index);
+    return {total * i / n, total * (i + 1) / n};
+}
+
+SweepSpecRunner::SweepSpecRunner(SweepEngine &engine) : engine_(engine)
+{
+}
+
+std::shared_ptr<const Circuit>
+SweepSpecRunner::circuitFor(const PlannedPoint &point)
+{
+    if (point.qasmPath.empty())
+        return engine_.nativeBenchmark(point.application);
+    auto it = qasmCache_.find(point.qasmPath);
+    if (it == qasmCache_.end())
+        it = qasmCache_
+                 .emplace(point.qasmPath,
+                          SweepEngine::lower(
+                              qasm::parseFile(point.qasmPath)))
+                 .first;
+    return it->second;
+}
+
+void
+SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
+                     const std::function<void(const SweepPoint &)> &emit,
+                     size_t batch_size)
+{
+    fatalUnless(batch_size >= 1, "batch size must be at least 1");
+    for (size_t start = skip; start < points.size();
+         start += batch_size) {
+        const size_t end =
+            std::min(points.size(), start + batch_size);
+        std::vector<SweepJob> jobs;
+        jobs.reserve(end - start);
+        for (size_t i = start; i < end; ++i) {
+            const PlannedPoint &point = points[i];
+            SweepJob job;
+            job.application = point.application;
+            job.native = circuitFor(point);
+            job.design = point.design;
+            job.options = point.options;
+            jobs.push_back(std::move(job));
+        }
+        for (const SweepPoint &result : engine_.run(jobs))
+            emit(result);
+    }
+}
+
+} // namespace qccd

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Declarative sweep specifications: run any design-space scenario from
+ * a file instead of a compiled-in bench.
+ *
+ * A `.sweep` file is a small JSON document (hand-rolled parser, no
+ * dependencies; `#` comments and trailing commas are allowed) that
+ * declares one or more cross-product grids over the toolflow's inputs:
+ *
+ *     {
+ *       "name": "fig6_trap_sizing",        # output stem
+ *       "sweeps": [{
+ *         "apps": ["adder", "qft"],        # builtin or "qasm:FILE"
+ *         "topology": "linear:6",
+ *         "capacity": [14, 18, 22],
+ *         "gate": "FM",                    # AM1 | AM2 | PM | FM
+ *         "reorder": "GS",                 # GS | IS
+ *         "buffer": 2,
+ *         "policy": "packed",              # packed | balanced
+ *         "params": {"heating_k1": 0.1},   # see hardwareOverrideKeys()
+ *         "options": {"decompose_runtime": true}
+ *       }]
+ *     }
+ *
+ * Every grid key except "options" accepts either a scalar (fixed for
+ * the whole grid) or an array (a sweep axis). Axes expand as nested
+ * loops in declaration order — the first array declared varies slowest
+ * — so a spec can reproduce any compiled bench's row order exactly.
+ * "params" values are objects mapping model-parameter names (the
+ * paper's sensitivity axes: gate fidelity constants, heating rates,
+ * shuttle timings) to numbers; an array of such objects sweeps
+ * co-varying parameter sets that a plain cross product cannot express.
+ * Grids expand in file order and concatenate into one row stream.
+ *
+ * Expanded points execute through the shared SweepEngine in batches,
+ * with contiguous sharding (--shard i/n; concatenating shard outputs in
+ * index order is byte-identical to the unsharded run) and append/resume
+ * (completed rows already in the output CSV are skipped). Rows stream
+ * through SweepRowWriter (core/export.hpp), the same formatting path
+ * the figure benches use, so a spec-driven reproduction of a bench is
+ * bit-identical to the compiled bench.
+ */
+
+#ifndef QCCD_CORE_SWEEP_SPEC_HPP
+#define QCCD_CORE_SWEEP_SPEC_HPP
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace qccd
+{
+
+class SweepEngine;
+
+/** One expanded grid point, ready to be evaluated. */
+struct PlannedPoint
+{
+    /** Label recorded in the output rows (builtin name or QASM stem). */
+    std::string application;
+
+    /** Path of the QASM source; empty for builtin applications. */
+    std::string qasmPath;
+
+    DesignPoint design;
+    RunOptions options;
+};
+
+/** A parsed, fully expanded sweep specification. */
+struct SweepSpec
+{
+    /** Output stem: `qccd_explore --sweep` writes <name>.<format>. */
+    std::string name;
+
+    /** Optional free-text description. */
+    std::string description;
+
+    /** Every grid point in file order (grids concatenated). */
+    std::vector<PlannedPoint> points;
+};
+
+/**
+ * Parse sweep-spec text.
+ *
+ * @param text the spec document
+ * @param origin name used in error messages (e.g. the file path)
+ * @param base_dir directory "qasm:" application paths are resolved
+ *        against (empty: the current working directory)
+ * @throws ConfigError with origin:line:column on any syntax or schema
+ *         error — malformed input never crashes
+ */
+SweepSpec parseSweepSpec(const std::string &text,
+                         const std::string &origin = "sweep",
+                         const std::string &base_dir = "");
+
+/** Parse a `.sweep` file; "qasm:" paths resolve relative to it. */
+SweepSpec parseSweepSpecFile(const std::string &path);
+
+/** Shard selector: contiguous slice @p index of @p count. */
+struct SweepShard
+{
+    int index = 0;
+    int count = 1;
+};
+
+/** Parse "i/n" (0 <= i < n); throws ConfigError on bad input. */
+SweepShard parseShard(const std::string &text);
+
+/**
+ * The contiguous half-open range [first, last) of @p total points that
+ * shard @p index of @p count evaluates. Slices are balanced (sizes
+ * differ by at most one) and their in-order concatenation covers
+ * 0..total exactly.
+ */
+std::pair<size_t, size_t> shardRange(size_t total, int index, int count);
+
+/**
+ * Evaluates planned points through a SweepEngine, streaming results.
+ *
+ * Builtin applications are lowered once per engine (the engine's own
+ * cache); QASM applications are parsed and lowered once per runner.
+ * Points are evaluated in batches (each batch one engine.run call, so
+ * a batch rides the worker pool) and emitted strictly in input order.
+ * Results are bit-identical for any worker count and batch size.
+ */
+class SweepSpecRunner
+{
+  public:
+    explicit SweepSpecRunner(SweepEngine &engine);
+
+    /**
+     * Evaluate points[skip..points.size()) in order.
+     *
+     * @param points planned points (typically a shard slice)
+     * @param skip completed points to skip (resume support)
+     * @param emit called once per completed point, in input order
+     * @param batch_size points per engine batch (>= 1)
+     */
+    void run(const std::vector<PlannedPoint> &points, size_t skip,
+             const std::function<void(const SweepPoint &)> &emit,
+             size_t batch_size = kDefaultBatchSize);
+
+    /** Points handed to the engine per run() batch by default. */
+    static constexpr size_t kDefaultBatchSize = 64;
+
+  private:
+    std::shared_ptr<const Circuit> circuitFor(const PlannedPoint &point);
+
+    SweepEngine &engine_;
+    std::map<std::string, std::shared_ptr<const Circuit>> qasmCache_;
+};
+
+} // namespace qccd
+
+#endif // QCCD_CORE_SWEEP_SPEC_HPP

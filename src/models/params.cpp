@@ -42,6 +42,93 @@ HardwareParams::fidelityModel() const
     return FidelityModel(gammaPerS, kappa, oneQubitError, measureError);
 }
 
+namespace
+{
+
+/** One named numeric parameter of HardwareParams. */
+struct OverrideEntry
+{
+    const char *key;
+    double HardwareParams::*doubleField = nullptr;
+    int HardwareParams::*intField = nullptr;
+};
+
+/** TimeUs and Quanta are double typedefs, so one pointer type covers
+ *  every non-integer parameter. */
+const OverrideEntry kOverrides[] = {
+    {"one_qubit_us", &HardwareParams::oneQubitUs, nullptr},
+    {"measure_us", &HardwareParams::measureUs, nullptr},
+    {"two_qubit_floor_us", &HardwareParams::twoQubitFloorUs, nullptr},
+    {"heating_k1", &HardwareParams::heatingK1, nullptr},
+    {"heating_k2", &HardwareParams::heatingK2, nullptr},
+    {"gamma_per_s", &HardwareParams::gammaPerS, nullptr},
+    {"kappa", &HardwareParams::kappa, nullptr},
+    {"one_qubit_error", &HardwareParams::oneQubitError, nullptr},
+    {"measure_error", &HardwareParams::measureError, nullptr},
+    {"recool_factor", &HardwareParams::recoolFactor, nullptr},
+    {"buffer_slots", nullptr, &HardwareParams::bufferSlots},
+};
+
+/** Shuttle timings live one struct deeper; map them separately. */
+struct ShuttleEntry
+{
+    const char *key;
+    TimeUs ShuttleTimeModel::*field;
+};
+
+const ShuttleEntry kShuttleOverrides[] = {
+    {"move_per_segment_us", &ShuttleTimeModel::movePerSegment},
+    {"split_us", &ShuttleTimeModel::split},
+    {"merge_us", &ShuttleTimeModel::merge},
+    {"y_junction_us", &ShuttleTimeModel::yJunction},
+    {"x_junction_us", &ShuttleTimeModel::xJunction},
+    {"ion_swap_rotation_us", &ShuttleTimeModel::ionSwapRotation},
+};
+
+} // namespace
+
+void
+applyHardwareOverride(HardwareParams &params, const std::string &key,
+                      double value)
+{
+    for (const OverrideEntry &entry : kOverrides) {
+        if (key != entry.key)
+            continue;
+        if (entry.doubleField) {
+            params.*entry.doubleField = value;
+        } else {
+            const int integral = static_cast<int>(value);
+            fatalUnless(static_cast<double>(integral) == value,
+                        "parameter '" + key +
+                            "' takes an integer value");
+            params.*entry.intField = integral;
+        }
+        return;
+    }
+    for (const ShuttleEntry &entry : kShuttleOverrides) {
+        if (key == entry.key) {
+            params.shuttle.*entry.field = value;
+            return;
+        }
+    }
+    std::string known;
+    for (const std::string &k : hardwareOverrideKeys())
+        known += (known.empty() ? "" : ", ") + k;
+    throw ConfigError("unknown hardware parameter '" + key +
+                      "' (known: " + known + ")");
+}
+
+std::vector<std::string>
+hardwareOverrideKeys()
+{
+    std::vector<std::string> keys;
+    for (const OverrideEntry &entry : kOverrides)
+        keys.push_back(entry.key);
+    for (const ShuttleEntry &entry : kShuttleOverrides)
+        keys.push_back(entry.key);
+    return keys;
+}
+
 void
 HardwareParams::validate() const
 {

@@ -13,6 +13,7 @@
 #define QCCD_MODELS_PARAMS_HPP
 
 #include <string>
+#include <vector>
 
 #include "models/fidelity.hpp"
 #include "models/gate_time.hpp"
@@ -77,6 +78,27 @@ struct HardwareParams
     /** Validate all parameters; throws ConfigError on violations. */
     void validate() const;
 };
+
+/**
+ * Named access to the numeric model parameters, for declarative
+ * configuration layers (sweep specs, future config files). Every
+ * sensitivity axis of the paper — gate fidelity constants, heating
+ * rates, shuttle timings — is reachable by key without recompiling.
+ *
+ * Keys: one_qubit_us, measure_us, two_qubit_floor_us,
+ * move_per_segment_us, split_us, merge_us, y_junction_us,
+ * x_junction_us, ion_swap_rotation_us, heating_k1, heating_k2,
+ * gamma_per_s, kappa, one_qubit_error, measure_error, buffer_slots,
+ * recool_factor.
+ *
+ * @throws ConfigError for unknown keys (the message lists them all) or
+ *         non-integral values for integer parameters.
+ */
+void applyHardwareOverride(HardwareParams &params, const std::string &key,
+                           double value);
+
+/** All keys applyHardwareOverride accepts, in documentation order. */
+std::vector<std::string> hardwareOverrideKeys();
 
 } // namespace qccd
 

@@ -7,24 +7,32 @@
  *                [--capacity N] [--gate AM1|AM2|PM|FM]
  *                [--reorder GS|IS] [--buffer N] [--decompose]
  *                [--trace N] [--list]
+ *   qccd_explore --sweep FILE [--out FILE] [--format csv|json]
+ *                [--shard I/N] [--resume] [--jobs N]
  *
  * Examples:
  *   qccd_explore --app qft --topology linear:6 --capacity 22 --gate FM
  *   qccd_explore --qasm mycircuit.qasm --topology grid:2x3 --capacity 20
+ *   qccd_explore --sweep examples/sweeps/fig6.sweep
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "benchgen/benchgen.hpp"
 #include "circuit/qasm/parser.hpp"
 #include "circuit/stats.hpp"
 #include "common/error.hpp"
 #include "compiler/mapping.hpp"
+#include "core/export.hpp"
 #include "core/recommend.hpp"
 #include "core/report.hpp"
 #include "core/sweep_engine.hpp"
+#include "core/sweep_spec.hpp"
 #include "core/toolflow.hpp"
 #include "sim/analysis.hpp"
 #include "sim/checker.hpp"
@@ -32,6 +40,8 @@
 
 namespace
 {
+
+using namespace qccd;
 
 void
 printUsage()
@@ -52,9 +62,147 @@ printUsage()
         "  --analyze         print per-resource utilization report\n"
         "  --emit-isa FILE   write the compiled QCCD executable\n"
         "  --recommend       rank the paper's design space for the app\n"
-        "  --jobs N          worker threads for --recommend sweeps\n"
+        "  --jobs N          worker threads for --sweep / --recommend\n"
         "                    (default: QCCD_JOBS env, then all cores)\n"
-        "  --list            list available benchmark applications\n";
+        "  --list            list available benchmark applications\n"
+        "\n"
+        "Declarative sweeps (see examples/sweeps/ and README):\n"
+        "  --sweep FILE      run a .sweep design-space specification\n"
+        "  --out FILE        output path (default <spec name>.csv)\n"
+        "  --format F        csv | json (default from --out extension)\n"
+        "  --shard I/N       evaluate the I-th of N contiguous slices;\n"
+        "                    concatenating the N outputs in order is\n"
+        "                    byte-identical to the unsharded run\n"
+        "  --resume          append to --out, skipping completed rows\n";
+}
+
+/**
+ * Rows already present in a resumed CSV (0 if the file is missing).
+ *
+ * A run killed mid-write can leave a final line without a terminating
+ * newline; that row is incomplete, so it is dropped — the file is
+ * rewritten without it — and its point is re-evaluated rather than
+ * counted as done (appending after it would merge two rows).
+ */
+size_t
+resumedRows(const std::string &path, bool with_header)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return 0;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    fatalUnless(!in.bad(), "error reading '" + path + "'");
+    std::string content = buffer.str();
+    in.close();
+
+    const size_t last_newline = content.find_last_of('\n');
+    if (last_newline != content.size() - 1 && !content.empty()) {
+        content.resize(
+            last_newline == std::string::npos ? 0 : last_newline + 1);
+        writeTextFile(content, path);
+    }
+
+    std::istringstream lines(content);
+    std::string line;
+    size_t rows = 0;
+    bool first = true;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        if (first && with_header) {
+            fatalUnless(line == sweepCsvHeader(),
+                        "cannot resume '" + path +
+                            "': its header does not match the sweep "
+                            "CSV format");
+            first = false;
+            continue;
+        }
+        first = false;
+        ++rows;
+    }
+    return rows;
+}
+
+int
+runSweepMode(const std::string &sweep_file, std::string out_file,
+             const std::string &format_name,
+             const std::string &shard_text, bool resume, int jobs)
+{
+    const SweepSpec spec = parseSweepSpecFile(sweep_file);
+
+    ExportFormat format = ExportFormat::Csv;
+    if (!format_name.empty())
+        format = exportFormatFromName(format_name);
+    else if (out_file.size() >= 5 &&
+             out_file.compare(out_file.size() - 5, 5, ".json") == 0)
+        format = ExportFormat::Json;
+
+    SweepShard shard;
+    if (!shard_text.empty())
+        shard = parseShard(shard_text);
+    if (out_file.empty()) {
+        // Sharded runs get distinct default names: with a shared
+        // default, shard 1 would truncate shard 0's freshly written
+        // output in the same directory.
+        std::string stem = spec.name;
+        if (shard.count > 1)
+            stem += ".shard" + std::to_string(shard.index) + "of" +
+                    std::to_string(shard.count);
+        out_file =
+            stem + (format == ExportFormat::Csv ? ".csv" : ".json");
+    }
+    fatalUnless(format == ExportFormat::Csv || shard.count == 1,
+                "--shard requires CSV output");
+    fatalUnless(format == ExportFormat::Csv || !resume,
+                "--resume requires CSV output");
+
+    const auto [first, last] =
+        shardRange(spec.points.size(), shard.index, shard.count);
+    const std::vector<PlannedPoint> slice(
+        spec.points.begin() + static_cast<long>(first),
+        spec.points.begin() + static_cast<long>(last));
+
+    // Shard 0 owns the header so that concatenating shard files in
+    // index order reproduces the unsharded export byte-for-byte.
+    const bool with_header = shard.index == 0;
+    const size_t done =
+        resume ? resumedRows(out_file, with_header) : 0;
+    fatalUnless(done <= slice.size(),
+                "cannot resume '" + out_file + "': it has more rows " +
+                    "than this sweep" +
+                    (shard.count > 1 ? " shard" : "") + " produces");
+
+    std::cout << "sweep " << spec.name << ": " << spec.points.size()
+              << " points";
+    if (shard.count > 1)
+        std::cout << ", shard " << shard.index << "/" << shard.count
+                  << " covers [" << first << ", " << last << ")";
+    if (done > 0)
+        std::cout << ", resuming past " << done << " completed rows";
+    std::cout << ", " << SweepEngine::resolveJobs(jobs)
+              << " workers\n";
+
+    if (done == slice.size()) {
+        std::cout << out_file << " is already complete ("
+                  << slice.size() << " rows)\n";
+        return 0;
+    }
+
+    std::ofstream out(out_file, done > 0 ? std::ios::app
+                                         : std::ios::trunc);
+    fatalUnless(out.good(), "cannot write file '" + out_file + "'");
+    SweepRowWriter writer(out, format, with_header && done == 0, done);
+
+    SweepEngine engine(jobs);
+    SweepSpecRunner runner(engine);
+    runner.run(slice, done,
+               [&](const SweepPoint &point) { writer.write(point); });
+    writer.finish();
+
+    std::cout << "wrote " << (slice.size() - done) << " rows to "
+              << out_file << "\n";
+    return 0;
 }
 
 } // namespace
@@ -73,6 +221,11 @@ main(int argc, char **argv)
     bool recommend = false;
     int jobs = 0; // 0: resolve via QCCD_JOBS / hardware concurrency
     std::string isa_file;
+    std::string sweep_file;
+    std::string out_file;
+    std::string format_name;
+    std::string shard_text;
+    bool resume = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -135,18 +288,39 @@ main(int argc, char **argv)
                 recommend = true;
             } else if (arg == "--jobs") {
                 jobs = intValue();
+                fatalUnless(jobs >= 1,
+                            "--jobs must be at least 1");
             } else if (arg == "--emit-isa") {
                 isa_file = value();
+            } else if (arg == "--sweep") {
+                sweep_file = value();
+            } else if (arg == "--out") {
+                out_file = value();
+            } else if (arg == "--format") {
+                format_name = value();
+            } else if (arg == "--shard") {
+                shard_text = value();
+            } else if (arg == "--resume") {
+                resume = true;
             } else if (arg == "--decompose") {
                 options.decomposeRuntime = true;
             } else if (arg == "--trace") {
                 trace_ops = intValue();
+                fatalUnless(trace_ops >= 1,
+                            "--trace must be at least 1");
             } else {
                 std::cerr << "unknown option " << arg << "\n";
                 printUsage();
                 return 2;
             }
         }
+
+        if (!sweep_file.empty())
+            return runSweepMode(sweep_file, out_file, format_name,
+                                shard_text, resume, jobs);
+        fatalUnless(out_file.empty() && format_name.empty() &&
+                        shard_text.empty() && !resume,
+                    "--out/--format/--shard/--resume require --sweep");
 
         const Circuit circuit = qasm_file.empty()
                                     ? makeBenchmark(app)

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# CLI error-path contract for qccd_explore: every bad input must exit
+# nonzero with a one-line diagnostic on stderr — no silent defaults, no
+# partial output, no crash. Registered with CTest (label tier1) by
+# tests/CMakeLists.txt; $1 is the qccd_explore binary.
+set -u
+
+EXPLORE=${1:?usage: cli_errors.sh /path/to/qccd_explore}
+failures=0
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+# expect_error DESCRIPTION EXPECTED_STDERR_FRAGMENT ARGS...
+expect_error() {
+    local desc=$1 fragment=$2
+    shift 2
+    local stderr_file="$scratch/stderr"
+    "$EXPLORE" "$@" > "$scratch/stdout" 2> "$stderr_file"
+    local status=$?
+    if [[ $status -eq 0 ]]; then
+        echo "FAIL: $desc: exited 0, expected nonzero" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    # A clean diagnostic is exactly one line mentioning the problem.
+    local lines
+    lines=$(wc -l < "$stderr_file")
+    if [[ $lines -ne 1 ]]; then
+        echo "FAIL: $desc: expected a one-line diagnostic, got $lines:" >&2
+        sed 's/^/    /' "$stderr_file" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    if ! grep -q "$fragment" "$stderr_file"; then
+        echo "FAIL: $desc: stderr lacks '$fragment':" >&2
+        sed 's/^/    /' "$stderr_file" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok: $desc"
+}
+
+expect_error "bad --topology"   "unknown topology"     --topology bogus
+expect_error "zero-size topo"   "must be positive"     --topology linear:0
+expect_error "bad --gate"       "unknown gate"         --gate ZZ
+expect_error "bad --reorder"    "unknown reorder"      --reorder XY
+expect_error "bad --policy"     "unknown mapping"      --policy fancy
+expect_error "bad --app"        "unknown benchmark"    --app nonesuch
+expect_error "tiny --capacity"  "at least 2"           --capacity 1
+expect_error "text --capacity"  "expected an integer"  --capacity many
+expect_error "negative buffer"  "non-negative"         --buffer -1
+expect_error "zero --jobs"      "at least 1"           --jobs 0
+expect_error "negative --jobs"  "at least 1"           --jobs -3
+expect_error "zero --trace"     "at least 1"           --trace 0
+expect_error "missing value"    "missing value"        --capacity
+expect_error "missing --qasm"   "cannot"               --qasm "$scratch/none.qasm"
+expect_error "missing --sweep"  "cannot read sweep"    --sweep "$scratch/none.sweep"
+
+echo '{"name": "x", "sweeps": [{' > "$scratch/broken.sweep"
+expect_error "garbled sweep"    "broken.sweep:"        --sweep "$scratch/broken.sweep"
+
+echo '{"name": "x", "sweeps": [{"apps": "qft", "topology": "hexagon:3"}]}' \
+    > "$scratch/badtopo.sweep"
+expect_error "sweep w/ bad topology" "unknown topology" \
+    --sweep "$scratch/badtopo.sweep" --out "$scratch/badtopo.csv"
+
+echo '{"name": "x", "sweeps": [{"apps": "qft"}]}' > "$scratch/ok.sweep"
+expect_error "bad --shard"      "shard must be"        --sweep "$scratch/ok.sweep" --shard 1-2
+expect_error "shard out of range" "shard index"        --sweep "$scratch/ok.sweep" --shard 2/2
+expect_error "bad --format"     "unknown export"       --sweep "$scratch/ok.sweep" --format xml
+expect_error "json + shard"     "requires CSV"         --sweep "$scratch/ok.sweep" --format json --shard 0/2
+expect_error "sweep-only flag"  "require --sweep"      --app qft --resume
+
+# Unknown options print usage and exit 2 (argument error).
+"$EXPLORE" --frobnicate > /dev/null 2>&1
+if [[ $? -ne 2 ]]; then
+    echo "FAIL: unknown option should exit 2" >&2
+    failures=$((failures + 1))
+else
+    echo "ok: unknown option exits 2"
+fi
+
+# A failed sweep with --out must not leave a half-written output file
+# behind when the spec itself is bad (parse errors happen before the
+# file is opened).
+if [[ -e "$scratch/badtopo.csv" && -s "$scratch/badtopo.csv" ]]; then
+    # Run-time errors may leave a header-only file; rows would be wrong.
+    rows=$(grep -vc '^application,' "$scratch/badtopo.csv")
+    if [[ $rows -ne 0 ]]; then
+        echo "FAIL: failed sweep left $rows rows in its output" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
+# Robustness contracts around the failure-adjacent sweep paths.
+
+# --resume after a run died mid-row: the dangling partial line must be
+# dropped and re-evaluated, not merged with the next appended row.
+cat > "$scratch/tiny.sweep" <<'EOF'
+{"name": "tiny", "sweeps": [{"apps": "bv", "capacity": [14, 18]}]}
+EOF
+(cd "$scratch" && "$EXPLORE" --sweep tiny.sweep > /dev/null 2>&1)
+if [[ -s "$scratch/tiny.csv" ]]; then
+    head -c 60 "$scratch/tiny.csv" > "$scratch/torn.csv"  # header + torn row
+    (cd "$scratch" && "$EXPLORE" --sweep tiny.sweep --out torn.csv \
+        --resume > /dev/null 2>&1)
+    if cmp -s "$scratch/tiny.csv" "$scratch/torn.csv"; then
+        echo "ok: resume recovers a torn final row"
+    else
+        echo "FAIL: resume after torn row diverges from clean run" >&2
+        failures=$((failures + 1))
+    fi
+else
+    echo "FAIL: tiny sweep produced no output to test resume with" >&2
+    failures=$((failures + 1))
+fi
+
+# Sharded runs without --out must not share one default filename
+# (shard 1 would truncate shard 0's output).
+(cd "$scratch" && "$EXPLORE" --sweep tiny.sweep --shard 0/2 > /dev/null 2>&1 \
+    && "$EXPLORE" --sweep tiny.sweep --shard 1/2 > /dev/null 2>&1)
+if [[ -s "$scratch/tiny.shard0of2.csv" && -s "$scratch/tiny.shard1of2.csv" ]] \
+    && cat "$scratch/tiny.shard0of2.csv" "$scratch/tiny.shard1of2.csv" \
+       | cmp -s - "$scratch/tiny.csv"; then
+    echo "ok: sharded default outputs are distinct and concatenate"
+else
+    echo "FAIL: sharded default output naming" >&2
+    failures=$((failures + 1))
+fi
+
+if [[ $failures -eq 0 ]]; then
+    echo "all CLI error paths produce clean one-line diagnostics"
+fi
+exit "$failures"

@@ -64,6 +64,49 @@ TEST(Export, JsonIsWellFormedEnough)
     EXPECT_NE(json.find("\"capacity\": 30"), std::string::npos);
 }
 
+TEST(Export, JsonEscapesUserStrings)
+{
+    auto points = smallSweep();
+    points.resize(1);
+    points[0].application = "we\"ird\\app";
+    const std::string json = toJson(points);
+    EXPECT_NE(json.find("\"application\": \"we\\\"ird\\\\app\""),
+              std::string::npos)
+        << json;
+}
+
+TEST(Export, StreamingWriterMatchesBatchHelpers)
+{
+    const auto points = smallSweep();
+    std::ostringstream csv_stream;
+    SweepRowWriter csv(csv_stream, ExportFormat::Csv);
+    std::ostringstream json_stream;
+    SweepRowWriter json(json_stream, ExportFormat::Json);
+    for (const SweepPoint &p : points) {
+        csv.write(p);
+        json.write(p);
+    }
+    csv.finish();
+    json.finish();
+    EXPECT_EQ(csv_stream.str(), toCsv(points));
+    EXPECT_EQ(json_stream.str(), toJson(points));
+    EXPECT_EQ(csv.rowsWritten(), points.size());
+}
+
+TEST(Export, ShardedCsvWritersConcatenate)
+{
+    const auto points = smallSweep();
+    std::ostringstream shard0;
+    std::ostringstream shard1;
+    SweepRowWriter w0(shard0, ExportFormat::Csv, /*with_header=*/true);
+    SweepRowWriter w1(shard1, ExportFormat::Csv, /*with_header=*/false);
+    w0.write(points[0]);
+    w1.write(points[1]);
+    w0.finish();
+    w1.finish();
+    EXPECT_EQ(shard0.str() + shard1.str(), toCsv(points));
+}
+
 TEST(Export, EmptySweepProducesHeaderOnly)
 {
     const std::string csv = toCsv({});

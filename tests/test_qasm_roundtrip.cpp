@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <numbers>
+
 #include "benchgen/benchgen.hpp"
 #include "circuit/qasm/parser.hpp"
 #include "circuit/qasm/writer.hpp"
 #include "circuit/stats.hpp"
+#include "common/rng.hpp"
 
 namespace qccd
 {
@@ -62,6 +66,72 @@ TEST_P(QasmRoundTrip, StatsSurviveRoundTrip)
 INSTANTIATE_TEST_SUITE_P(Benchmarks, QasmRoundTrip,
                          ::testing::Values("qft", "bv", "adder", "qaoa",
                                            "supremacy", "squareroot"));
+
+/**
+ * Draw a random circuit covering the whole IR vocabulary: every Op
+ * (including barriers and measurements), parameterized gates with
+ * positive/negative/zero/pi-multiple angles, and edge qubit counts
+ * (1-qubit circuits force the generator to skip two-qubit ops).
+ */
+Circuit
+randomCircuit(Rng &rng)
+{
+    // Edge-heavy qubit count distribution: 1 and 2 show up often.
+    static const int kQubitCounts[] = {1, 1, 2, 2, 3, 5, 8, 17};
+    const int n = kQubitCounts[rng.nextBelow(8)];
+    Circuit circuit(n, "fuzz");
+
+    static const Op kOps[] = {Op::H, Op::X, Op::Y, Op::Z, Op::S,
+                              Op::Sdg, Op::T, Op::Tdg, Op::RX, Op::RY,
+                              Op::RZ, Op::CX, Op::CZ, Op::CPhase,
+                              Op::MS, Op::Swap, Op::Measure,
+                              Op::Barrier};
+    const int gates = rng.nextInt(0, 40);
+    for (int i = 0; i < gates; ++i) {
+        const Op op = kOps[rng.nextBelow(std::size(kOps))];
+        double param = 0;
+        if (opHasParam(op)) {
+            switch (rng.nextInt(0, 3)) {
+              case 0: param = 0; break;
+              case 1: param = std::numbers::pi *
+                              rng.nextInt(-4, 4) / 2.0; break;
+              default:
+                param = (rng.nextDouble() - 0.5) * 20.0;
+            }
+        }
+        if (op == Op::Barrier) {
+            circuit.add(Gate{});
+        } else if (opArity(op) == 2) {
+            if (n < 2)
+                continue;
+            const QubitId a = rng.nextInt(0, n - 1);
+            QubitId b = rng.nextInt(0, n - 2);
+            b += b >= a ? 1 : 0;
+            circuit.add(Gate::two(op, a, b, param));
+        } else if (op == Op::Measure) {
+            circuit.measure(rng.nextInt(0, n - 1));
+        } else {
+            circuit.add(Gate::one(op, rng.nextInt(0, n - 1), param));
+        }
+    }
+    return circuit;
+}
+
+TEST(QasmRoundTrip, TwoHundredRandomCircuitsSurviveWriteParse)
+{
+    Rng rng(0x0a5a5a5aULL);
+    for (int iter = 0; iter < 200; ++iter) {
+        const Circuit original = randomCircuit(rng);
+        const std::string text = qasm::write(original);
+        Circuit reparsed(1);
+        ASSERT_NO_THROW(reparsed = qasm::parse(text, original.name()))
+            << "iteration " << iter << "\n" << text;
+        expectEquivalent(original, reparsed);
+        // And the round trip is a fixed point: writing the reparsed
+        // circuit reproduces the same QASM text.
+        EXPECT_EQ(text, qasm::write(reparsed)) << "iteration " << iter;
+    }
+}
 
 TEST(QasmRoundTrip, HandwrittenMixedGates)
 {
