@@ -121,6 +121,24 @@ else
     failures=$((failures + 1))
 fi
 
+# --- Sharded run over the new topology families ---------------------
+echo "== sweep topology_families.sweep, shards 0..2/3 =="
+mkdir -p "$scratch/shard_topo"
+if (cd "$scratch/shard_topo" &&
+        "$EXPLORE" --sweep "$SWEEP_DIR/topology_families.sweep" \
+            --shard 0/3 --out t0.csv > t0.log 2>&1 &&
+        "$EXPLORE" --sweep "$SWEEP_DIR/topology_families.sweep" \
+            --shard 1/3 --out t1.csv > t1.log 2>&1 &&
+        "$EXPLORE" --sweep "$SWEEP_DIR/topology_families.sweep" \
+            --shard 2/3 --out t2.csv > t2.log 2>&1 &&
+        cat t0.csv t1.csv t2.csv > union.csv &&
+        cmp -s union.csv "$GOLDEN_DIR/topology_families.csv"); then
+    echo "   shard union matches golden"
+else
+    echo "   SHARD UNION DIFFERS from golden/topology_families.csv" >&2
+    failures=$((failures + 1))
+fi
+
 # --- Every golden must have been checked by some path ---------------
 for golden_csv in "${golden_files[@]}"; do
     name=$(basename "$golden_csv" .csv)

@@ -1,14 +1,24 @@
 /**
  * @file
- * Standard QCCD topology builders used in the paper's evaluation
- * (Section VIII-B): LN linear devices (e.g. L6, the Honeywell-like
- * topology) and GRxC junction-rail grid devices (e.g. G2x3, Fig. 2b).
+ * Topology builders and the extensible device-family registry.
+ *
+ * The paper's evaluation (Section VIII-B) uses two families — LN linear
+ * devices (e.g. L6, the Honeywell-like topology) and GRxC junction-rail
+ * grids (e.g. G2x3, Fig. 2b) — but the toolflow itself runs on any
+ * trap/junction graph. This header exposes the standard families (ring,
+ * star and H-tree devices alongside linear and grid), a registry new
+ * families can be added to at runtime, and the spec-string front door
+ * `makeFromSpec` that every layer above (DesignPoint, sweeps, the CLI)
+ * goes through. Fully custom graphs load from `.topo` files (see
+ * arch/topo_file.hpp) via the "topo:FILE" spec form.
  */
 
 #ifndef QCCD_ARCH_BUILDERS_HPP
 #define QCCD_ARCH_BUILDERS_HPP
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "arch/topology.hpp"
 
@@ -20,7 +30,7 @@ namespace qccd
  * connected directly by an edge of @p segments_per_edge segments.
  *
  * There are no junctions; a shuttle between non-adjacent traps passes
- * through the intermediate traps (merge + reorder + split each).
+ * through the intermediate traps (merge + reorder + split, Fig. 4).
  */
 Topology makeLinear(int num_traps, int capacity, int segments_per_edge = 1);
 
@@ -40,16 +50,110 @@ Topology makeGrid(int rows, int cols, int capacity,
                   int segments_per_edge = 1);
 
 /**
+ * Build a ring device: @p num_traps traps in a cycle, adjacent traps
+ * connected directly (a linear device with the ends joined, so the
+ * worst-case shuttle passes through half as many intermediate traps).
+ *
+ * @pre num_traps >= 3 (two traps would need a parallel double edge)
+ */
+Topology makeRing(int num_traps, int capacity, int segments_per_edge = 1);
+
+/**
+ * Build a star device: @p num_traps traps, each connected by its own
+ * edge to one central junction hub. Every shuttle crosses exactly the
+ * hub; the hub prices as an X junction once its degree exceeds 3.
+ *
+ * @pre num_traps >= 2 (a junction must join at least two edges)
+ */
+Topology makeStar(int num_traps, int capacity, int segments_per_edge = 1);
+
+/**
+ * Build an H-tree device of depth @p depth: 2^depth leaf traps at the
+ * tips of a complete binary junction tree (2^depth - 1 junctions). The
+ * root junction is a straight-through corner (degree 2), every other
+ * junction a Y; shuttles never pass through intermediate traps and any
+ * leaf reaches any other in at most 2*depth - 1 junction crossings.
+ *
+ * @pre 1 <= depth <= 10 (2^10 = 1024 traps is already far beyond the
+ *      paper's design space)
+ */
+Topology makeHTree(int depth, int capacity, int segments_per_edge = 1);
+
+/**
+ * One registered device family of the builder-spec grammar
+ * `family:SIZES[:sN]` (see makeFromSpec).
+ */
+struct TopologyFamily
+{
+    /** Spec keyword, e.g. "ring" for "ring:6". */
+    std::string name;
+
+    /**
+     * Optional single-letter shorthand prefix (0 = none), matched
+     * case-insensitively: 'l' makes "l6"/"L6" mean "linear:6".
+     */
+    char shortForm = 0;
+
+    /** Number of integer sizes the spec takes ("RxC" has two). */
+    int arity = 1;
+
+    /** Human-readable spec grammar, e.g. "grid:RxC[:sN]". */
+    std::string grammar;
+
+    /** One-line description for listings (qccd_explore --topologies). */
+    std::string description;
+
+    /**
+     * Build the device. @p sizes has exactly `arity` positive entries;
+     * @p capacity is the default per-trap capacity and @p segments the
+     * per-edge segment count. Semantic range errors (e.g. a ring of
+     * two traps) throw ConfigError.
+     */
+    std::function<Topology(const std::vector<int> &sizes, int capacity,
+                           int segments)> build;
+};
+
+/** Every registered family, builtins first, in registration order. */
+const std::vector<TopologyFamily> &topologyFamilies();
+
+/**
+ * Register an additional device family.
+ *
+ * @throws ConfigError when the name or short form collides with an
+ *         existing family, the name is not a lowercase word, or the
+ *         family is malformed (no builder, arity < 1)
+ */
+void registerTopologyFamily(TopologyFamily family);
+
+/**
  * Build a topology from a spec string:
- *  - "linear:N" or "lN"  -> makeLinear(N, capacity)
- *  - "grid:RxC" or "gRxC" -> makeGrid(R, C, capacity)
  *
- * An optional ":sN" suffix sets the segments per inter-trap edge
- * (default 1), e.g. "linear:6:s4".
+ *  - "FAMILY:SIZES" for any registered family, e.g. "linear:6",
+ *    "grid:2x3", "ring:8", "star:5", "htree:3" (multi-size families
+ *    separate sizes with 'x');
+ *  - single-letter short forms for families that declare one, e.g.
+ *    "l6" / "L6" / "g2x3" / "r8";
+ *  - an optional ":sN" suffix setting the transport segments per edge
+ *    (default 1), e.g. "linear:6:s4";
+ *  - "topo:FILE" to load a custom device graph from a `.topo` file
+ *    (see arch/topo_file.hpp), with @p capacity as the default for
+ *    traps that do not pin their own.
  *
- * @throws ConfigError on malformed specs.
+ * @throws ConfigError on malformed specs, naming the offending spec
+ *         and the 1-based position of the error within it
  */
 Topology makeFromSpec(const std::string &spec, int capacity);
+
+/**
+ * Check @p spec's syntax (family exists, sizes/suffix well formed)
+ * without building the device or touching the filesystem, so sweep
+ * parsing can reject a typo'd topology axis at parse time with the
+ * file position attached. "topo:FILE" specs only check for a non-empty
+ * path — the file itself is read when the device is built.
+ *
+ * @throws ConfigError exactly as makeFromSpec would for syntax errors
+ */
+void validateTopologySpec(const std::string &spec);
 
 } // namespace qccd
 

@@ -38,7 +38,12 @@ nodeTraversalCost(const Topology &topo, NodeId n, const PathCost &cost)
     const TopoNode &node = topo.node(n);
     if (node.kind == NodeKind::Trap)
         return cost.trapPassThrough;
-    return topo.degree(n) == 3 ? cost.yJunction : cost.xJunction;
+    // Degree <= 3 crossings (Y junctions and straight-through corners)
+    // price as a Y; anything wider (X crossings and beyond, e.g. the
+    // hub of a star device) prices as an X. Mirrors
+    // ShuttleTimeModel::junctionCrossing so the routing estimate and
+    // the simulated charge agree on every graph.
+    return topo.degree(n) <= 3 ? cost.yJunction : cost.xJunction;
 }
 
 } // namespace
@@ -46,8 +51,9 @@ nodeTraversalCost(const Topology &topo, NodeId n, const PathCost &cost)
 PathFinder::PathFinder(const Topology &topo, const PathCost &cost)
     : topo_(topo)
 {
-    fatalUnless(topo.trapCount() >= 1, "topology has no traps");
-    fatalUnless(topo.isConnected(), "topology must be connected");
+    // Full graph validation (connectivity, junction invariants): the
+    // compiler's correctness on arbitrary graphs starts here.
+    topo.validate();
     paths_.resize(static_cast<size_t>(topo.trapCount()) *
                   topo.trapCount());
     for (TrapId t = 0; t < topo.trapCount(); ++t)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * `.topo` device files: arbitrary QCCD trap/junction graphs as data.
+ *
+ * A `.topo` file declares one device graph, one directive per line,
+ * with `#` comments (to end of line) and blank lines allowed — the same
+ * hand-rolled, no-dependency parser conventions as `.sweep` files, and
+ * the same `origin:line:column` ConfigError diagnostics:
+ *
+ *     # A 4-trap ring with one bigger "memory" trap.
+ *     name ring4          # optional device name (default: file stem)
+ *     trap a 30           # trap NAME [CAPACITY]
+ *     trap b              # capacity defaults to the design point's
+ *     trap c
+ *     trap d
+ *     junction hub        # junction NAME
+ *     edge a b            # edge NAME NAME [SEGMENTS] (default 1)
+ *     edge b c 2          # a longer run: 2 transport segments
+ *     edge c d
+ *     edge d a
+ *     edge a hub          # junctions connect like any other node
+ *     edge c hub
+ *
+ * Node names are free-form words (no whitespace or '#'); declaration
+ * order fixes the node ids, so trap indices — and therefore mapping
+ * and routing — are deterministic. The finished graph must pass
+ * Topology::validate() (connected, no dangling junctions, at least one
+ * trap); violations are reported as ConfigErrors naming the file.
+ *
+ * Everywhere a builder spec is accepted ("linear:6", "grid:2x3", ...)
+ * the form "topo:FILE" loads one of these files instead, composing
+ * with `.sweep` specs, the CLI and DesignPoint unchanged.
+ */
+
+#ifndef QCCD_ARCH_TOPO_FILE_HPP
+#define QCCD_ARCH_TOPO_FILE_HPP
+
+#include <string>
+
+#include "arch/topology.hpp"
+
+namespace qccd
+{
+
+/**
+ * Parse `.topo` text into a validated Topology.
+ *
+ * @param text the device description
+ * @param origin name used in diagnostics (e.g. the file path)
+ * @param default_capacity capacity for traps that do not pin their own
+ *        (the design point's trap capacity)
+ * @throws ConfigError with origin:line:column on any syntax, schema or
+ *         graph-invariant error — malformed input never crashes
+ */
+Topology parseTopo(const std::string &text, const std::string &origin,
+                   int default_capacity);
+
+/** Read and parse a `.topo` file. */
+Topology loadTopoFile(const std::string &path, int default_capacity);
+
+/** "dir/ring4.topo" -> "ring4": the device label a path implies. */
+std::string topoFileStem(const std::string &path);
+
+} // namespace qccd
+
+#endif // QCCD_ARCH_TOPO_FILE_HPP

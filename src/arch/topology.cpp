@@ -92,11 +92,11 @@ Topology::degree(NodeId id) const
     return static_cast<int>(incidentEdges(id).size());
 }
 
-bool
-Topology::isConnected() const
+int
+Topology::reachableFromFirst() const
 {
     if (nodeCount() == 0)
-        return true;
+        return 0;
     std::vector<bool> seen(nodeCount(), false);
     std::vector<NodeId> stack{0};
     seen[0] = true;
@@ -113,7 +113,35 @@ Topology::isConnected() const
             }
         }
     }
-    return visited == nodeCount();
+    return visited;
+}
+
+bool
+Topology::isConnected() const
+{
+    return reachableFromFirst() == nodeCount();
+}
+
+void
+Topology::validate() const
+{
+    fatalUnless(trapCount() >= 1, "topology has no traps");
+    for (NodeId n = 0; n < nodeCount(); ++n) {
+        if (nodes_[n].kind != NodeKind::Junction)
+            continue;
+        if (degree(n) < 2)
+            throw ConfigError(
+                "junction node " + std::to_string(n) + " has degree " +
+                std::to_string(degree(n)) +
+                "; a junction must join at least two edges");
+    }
+    const int reachable = reachableFromFirst();
+    if (reachable != nodeCount())
+        throw ConfigError(
+            "topology must be connected: only " +
+            std::to_string(reachable) + " of " +
+            std::to_string(nodeCount()) +
+            " nodes are reachable from node 0");
 }
 
 int
@@ -129,6 +157,8 @@ std::string
 Topology::summary() const
 {
     std::ostringstream out;
+    if (!name_.empty())
+        out << name_ << ": ";
     out << trapCount() << " traps, " << junctionCount() << " junctions, "
         << edgeCount() << " edges, capacity " << totalCapacity();
     return out.str();

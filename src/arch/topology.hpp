@@ -52,6 +52,13 @@ class Topology
 {
   public:
     /**
+     * Optional device name (e.g. the `name` directive of a `.topo`
+     * file); empty for anonymous builder-made devices. @{
+     */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    /** @} */
+    /**
      * Add a trap node.
      *
      * @param capacity maximum ions the trap can hold (>= 2)
@@ -89,6 +96,21 @@ class Topology
     /** True if the graph is connected (ignores isolated build order). */
     bool isConnected() const;
 
+    /**
+     * Check the device-graph invariants every layer above relies on:
+     * at least one trap, a connected graph, and no dangling junctions
+     * (every junction joins at least two edges — a degree-1 junction is
+     * a dead end no shuttle can cross).
+     *
+     * Builders and the `.topo` loader call this before handing a
+     * topology to the compiler, so PathFinder/Router only ever see
+     * well-formed graphs.
+     *
+     * @throws ConfigError naming the violated invariant (disconnected
+     *         component census, the dangling junction's node id)
+     */
+    void validate() const;
+
     /** Sum of trap capacities. */
     int totalCapacity() const;
 
@@ -96,6 +118,10 @@ class Topology
     std::string summary() const;
 
   private:
+    /** Nodes reachable from node 0 (the connectivity walk). */
+    int reachableFromFirst() const;
+
+    std::string name_;
     std::vector<TopoNode> nodes_;
     std::vector<TopoEdge> edges_;
     std::vector<std::vector<EdgeId>> adjacency_;

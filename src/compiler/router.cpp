@@ -1,6 +1,8 @@
 #include "compiler/router.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -70,9 +72,26 @@ Router::evictionTarget(const DeviceState &state, TrapId from,
             best = t;
         }
     }
-    fatalUnless(best != kInvalidId,
-                "device too full to route: no trap has a free slot for "
-                "an evicted ion");
+    if (best == kInvalidId) [[unlikely]] {
+        // Capacity diagnostic: name the stuck trap and give the
+        // free-slot census so the user can see which capacity/buffer
+        // knob to turn (a generic "too full" is undebuggable on a
+        // 50-trap custom device).
+        std::ostringstream out;
+        out << "device too full to route: no trap can take an ion "
+               "evicted from trap "
+            << from;
+        if (exclude != kInvalidId && exclude != from)
+            out << " (trap " << exclude << " excluded)";
+        out << "; free slots:";
+        const int shown = std::min(topo_.trapCount(), 32);
+        for (TrapId t = 0; t < shown; ++t)
+            out << " t" << t << "=" << state.freeSlots(t);
+        if (shown < topo_.trapCount())
+            out << " ... (" << topo_.trapCount() - shown
+                << " more traps)";
+        throw ConfigError(out.str());
+    }
     return best;
 }
 

@@ -2,6 +2,11 @@
  * @file
  * Shuttle routing policy: which ion moves for a cross-trap gate, where
  * evicted ions go, and which path a shuttle takes (paper Section VI).
+ *
+ * The policy is topology-agnostic: every decision is made from the
+ * all-pairs PathFinder costs and per-trap occupancy, never from the
+ * shape of the device, so it is correct on any connected trap/junction
+ * graph (linear, grid, ring, star, H-tree, or a custom `.topo` device).
  */
 
 #ifndef QCCD_COMPILER_ROUTER_HPP
@@ -51,7 +56,10 @@ class Router
      * @p from (by routing cost) with at least one free slot, excluding
      * @p exclude.
      *
-     * @throws ConfigError when every other trap is full
+     * @throws ConfigError when every other trap is full; the diagnostic
+     *         names the stuck trap and carries a per-trap free-slot
+     *         census so capacity problems on custom devices are
+     *         attributable
      */
     TrapId evictionTarget(const DeviceState &state, TrapId from,
                           TrapId exclude) const;

@@ -363,10 +363,15 @@ Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
                 t = emitter_->emitTransit(through, flying, t);
                 break;
             }
+            // On a path graph the two ports always differ (the ion
+            // crosses the whole chain); on general graphs both edges
+            // can attach to the same chain end — e.g. a ring trap
+            // whose neighbours both have smaller node ids — and the
+            // pass-through degenerates to a touch-and-go: the ion
+            // merges as the outermost ion of that end, the reorder
+            // no-ops, and the split detaches it again.
             const ChainEnd entry = state_->portEnd(through, in_edge);
             const ChainEnd exit = state_->portEnd(through, out_edge);
-            panicUnless(entry != exit,
-                        "pass-through must cross the chain");
             t = emitter_->emitMerge(through, entry, flying, t);
             ++result_.metrics.counts.trapPassThroughs;
             IonId carrier =

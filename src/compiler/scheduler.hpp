@@ -15,6 +15,11 @@
  * timelines, so parallel shuttles can never deadlock; contention at
  * junctions or segments resolves to waiting, which is exactly the
  * paper's congestion policy.
+ *
+ * Shuttle emission is driven purely by the routed Path's step sequence
+ * (edges, junction crossings, trap pass-throughs) — nothing here
+ * assumes a linear chain or a junction rail, so the scheduler runs
+ * unchanged on any validated topology, including `.topo` device files.
  */
 
 #ifndef QCCD_COMPILER_SCHEDULER_HPP

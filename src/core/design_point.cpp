@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "arch/builders.hpp"
+#include "arch/topo_file.hpp"
 
 namespace qccd
 {
@@ -14,10 +15,21 @@ DesignPoint::buildTopology() const
 }
 
 std::string
+DesignPoint::topologyLabel() const
+{
+    const std::string topo_prefix = "topo:";
+    if (topologySpec.rfind(topo_prefix, 0) != 0)
+        return topologySpec;
+    const std::string stem =
+        topoFileStem(topologySpec.substr(topo_prefix.size()));
+    return stem.empty() ? topologySpec : stem;
+}
+
+std::string
 DesignPoint::label() const
 {
     std::ostringstream out;
-    out << topologySpec << " cap=" << trapCapacity << " "
+    out << topologyLabel() << " cap=" << trapCapacity << " "
         << gateImplName(hw.gateImpl) << "-" << reorderMethodName(hw.reorder);
     return out.str();
 }

@@ -21,10 +21,14 @@ namespace qccd
 /** One candidate device configuration. */
 struct DesignPoint
 {
-    /** Topology spec, e.g. "linear:6" / "L6" / "grid:2x3" / "G2x3". */
+    /**
+     * Topology spec: any registered builder family ("linear:6", "L6",
+     * "grid:2x3", "ring:8", "star:5", "htree:3", ...) or "topo:FILE"
+     * for a custom `.topo` device graph (see arch/topo_file.hpp).
+     */
     std::string topologySpec = "linear:6";
 
-    /** Maximum ions per trap. */
+    /** Default maximum ions per trap (a `.topo` trap may pin its own). */
     int trapCapacity = 22;
 
     /** Physical and microarchitectural parameters. */
@@ -32,6 +36,13 @@ struct DesignPoint
 
     /** Build the topology for this design point. */
     Topology buildTopology() const;
+
+    /**
+     * The device name reports and CSV/JSON exports carry: the spec
+     * itself for builder specs, the file stem for "topo:FILE" specs
+     * (so rows say "ring4", not the machine-local path).
+     */
+    std::string topologyLabel() const;
 
     /** Short label like "L6 cap=22 FM-GS" for reports. */
     std::string label() const;

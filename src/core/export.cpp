@@ -40,7 +40,7 @@ makeRow(const SweepPoint &p)
 {
     Row row;
     row.application = p.application;
-    row.topology = p.design.topologySpec;
+    row.topology = p.design.topologyLabel();
     row.capacity = p.design.trapCapacity;
     row.gate = gateImplName(p.design.hw.gateImpl);
     row.reorder = reorderMethodName(p.design.hw.reorder);

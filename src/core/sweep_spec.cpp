@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "arch/builders.hpp"
 #include "benchgen/benchgen.hpp"
 #include "circuit/qasm/parser.hpp"
 #include "common/error.hpp"
@@ -450,7 +451,7 @@ class SpecBuilder
             setApplication(value.text, value, point);
         } else if (key == "topology") {
             expect(value, JsonValue::Kind::String, "\"topology\"");
-            point.design.topologySpec = value.text;
+            setTopology(value.text, value, point);
         } else if (key == "capacity") {
             point.design.trapCapacity = intOf(value, "\"capacity\"");
         } else if (key == "gate") {
@@ -482,6 +483,32 @@ class SpecBuilder
         } else {
             panicUnless(false, "axis key missing from kAxisKeys");
         }
+    }
+
+    /**
+     * Topology axis values: builder specs are syntax-checked now so a
+     * typo fails at parse time with the document position; "topo:FILE"
+     * paths resolve relative to the spec file like "qasm:" paths do
+     * (the file itself is read when the device is built).
+     */
+    void setTopology(const std::string &text, const JsonValue &value,
+                     PlannedPoint &point) const
+    {
+        const std::string topo_prefix = "topo:";
+        if (text.rfind(topo_prefix, 0) == 0) {
+            std::string path = text.substr(topo_prefix.size());
+            if (path.empty())
+                parser_.failAt(value, "empty path after \"topo:\"");
+            if (path[0] != '/' && !baseDir_.empty())
+                path = baseDir_ + "/" + path;
+            point.design.topologySpec = topo_prefix + path;
+            return;
+        }
+        lookupAt(value, [&] {
+            validateTopologySpec(text);
+            return 0;
+        });
+        point.design.topologySpec = text;
     }
 
     void setApplication(const std::string &text, const JsonValue &value,

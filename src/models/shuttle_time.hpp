@@ -30,7 +30,7 @@ struct ShuttleTimeModel
     TimeUs xJunction = 120.0;     ///< cross a 4-way junction
     TimeUs ionSwapRotation = 50.0; ///< 180-degree rotation for an IS hop
 
-    /** Junction crossing time by junction degree (3 -> Y, >=4 -> X). */
+    /** Junction crossing time by junction degree (<= 3 -> Y, else X). */
     TimeUs junctionCrossing(int degree) const;
 
     /** Validate all durations are positive; throws ConfigError if not. */

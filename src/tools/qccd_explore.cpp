@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/builders.hpp"
 #include "benchgen/benchgen.hpp"
 #include "circuit/qasm/parser.hpp"
 #include "circuit/stats.hpp"
@@ -51,7 +52,10 @@ printUsage()
         "\n"
         "  --app NAME        benchmark application (see --list)\n"
         "  --qasm FILE       OpenQASM 2.0 circuit file instead of --app\n"
-        "  --topology SPEC   linear:N or grid:RxC (default linear:6)\n"
+        "  --topology SPEC   device spec: any registered family (see\n"
+        "                    --topologies) or topo:FILE (default linear:6)\n"
+        "  --topo FILE       load a .topo device file (= --topology\n"
+        "                    topo:FILE; see README for the format)\n"
         "  --capacity N      ions per trap (default 22)\n"
         "  --gate IMPL       AM1 | AM2 | PM | FM (default FM)\n"
         "  --reorder METHOD  GS | IS (default GS)\n"
@@ -65,6 +69,7 @@ printUsage()
         "  --jobs N          worker threads for --sweep / --recommend\n"
         "                    (default: QCCD_JOBS env, then all cores)\n"
         "  --list            list available benchmark applications\n"
+        "  --topologies      list registered topology families\n"
         "\n"
         "Declarative sweeps (see examples/sweeps/ and README):\n"
         "  --sweep FILE      run a .sweep design-space specification\n"
@@ -258,12 +263,25 @@ main(int argc, char **argv)
                     std::cout << spec.name << " - " << spec.description
                               << "\n";
                 return 0;
+            } else if (arg == "--topologies") {
+                for (const TopologyFamily &family : topologyFamilies()) {
+                    std::cout << family.grammar;
+                    if (family.shortForm != 0)
+                        std::cout << " (short: " << family.shortForm
+                                  << "...)";
+                    std::cout << " - " << family.description << "\n";
+                }
+                std::cout << "topo:FILE - custom .topo device graph "
+                             "(see README)\n";
+                return 0;
             } else if (arg == "--app") {
                 app = value();
             } else if (arg == "--qasm") {
                 qasm_file = value();
             } else if (arg == "--topology") {
                 design.topologySpec = value();
+            } else if (arg == "--topo") {
+                design.topologySpec = "topo:" + value();
             } else if (arg == "--capacity") {
                 design.trapCapacity = intValue();
             } else if (arg == "--gate") {

@@ -42,6 +42,14 @@ expect_error() {
 
 expect_error "bad --topology"   "unknown topology"     --topology bogus
 expect_error "zero-size topo"   "must be positive"     --topology linear:0
+# Malformed spec suffixes/shapes diagnose with the spec and position.
+expect_error "bad :s suffix"    "segment count"        --topology linear:6:sX
+expect_error "sited :s suffix"  "linear:6:sX':11"      --topology linear:6:sX
+expect_error "arity too high"   "takes 1 size"         --topology linear:2x3
+expect_error "arity too low"    "takes 2 sizes"        --topology grid:6
+expect_error "bare family"      "expected ':'"         --topology ring
+expect_error "ring too small"   "at least three"       --topology ring:2
+expect_error "missing --topo"   "cannot read topology" --topo "$scratch/none.topo"
 expect_error "bad --gate"       "unknown gate"         --gate ZZ
 expect_error "bad --reorder"    "unknown reorder"      --reorder XY
 expect_error "bad --policy"     "unknown mapping"      --policy fancy
@@ -56,6 +64,15 @@ expect_error "missing value"    "missing value"        --capacity
 expect_error "missing --qasm"   "cannot"               --qasm "$scratch/none.qasm"
 expect_error "missing --sweep"  "cannot read sweep"    --sweep "$scratch/none.sweep"
 
+# .topo device files: parse errors carry file:line:col, graph errors
+# carry the file name.
+printf 'trap a\ntrap a\n' > "$scratch/dup.topo"
+expect_error "duplicate .topo node" "dup.topo:2:6"     --topo "$scratch/dup.topo"
+printf 'trap a\ntrap b\n' > "$scratch/disc.topo"
+expect_error "disconnected .topo"   "must be connected" --topo "$scratch/disc.topo"
+printf 'flange a b\n' > "$scratch/directive.topo"
+expect_error "bad .topo directive"  "unknown directive" --topo "$scratch/directive.topo"
+
 echo '{"name": "x", "sweeps": [{' > "$scratch/broken.sweep"
 expect_error "garbled sweep"    "broken.sweep:"        --sweep "$scratch/broken.sweep"
 
@@ -63,6 +80,9 @@ echo '{"name": "x", "sweeps": [{"apps": "qft", "topology": "hexagon:3"}]}' \
     > "$scratch/badtopo.sweep"
 expect_error "sweep w/ bad topology" "unknown topology" \
     --sweep "$scratch/badtopo.sweep" --out "$scratch/badtopo.csv"
+# A typo'd topology axis fails at parse time with the spec position.
+expect_error "sweep topo parse position" "badtopo.sweep:1:" \
+    --sweep "$scratch/badtopo.sweep"
 
 echo '{"name": "x", "sweeps": [{"apps": "qft"}]}' > "$scratch/ok.sweep"
 expect_error "bad --shard"      "shard must be"        --sweep "$scratch/ok.sweep" --shard 1-2

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "arch/builders.hpp"
 #include "common/error.hpp"
 
@@ -103,6 +107,173 @@ TEST(Builders, SegmentsPerEdgeRespected)
     const Topology topo = makeLinear(3, 10, 4);
     for (EdgeId e = 0; e < topo.edgeCount(); ++e)
         EXPECT_EQ(topo.edge(e).segments, 4);
+}
+
+TEST(Builders, RingShape)
+{
+    const Topology topo = makeRing(6, 20);
+    EXPECT_EQ(topo.trapCount(), 6);
+    EXPECT_EQ(topo.junctionCount(), 0);
+    EXPECT_EQ(topo.edgeCount(), 6);
+    EXPECT_TRUE(topo.isConnected());
+    for (TrapId t = 0; t < topo.trapCount(); ++t)
+        EXPECT_EQ(topo.degree(topo.trapNode(t)), 2);
+    EXPECT_THROW(makeRing(2, 20), ConfigError);
+}
+
+TEST(Builders, StarShape)
+{
+    const Topology topo = makeStar(5, 20);
+    EXPECT_EQ(topo.trapCount(), 5);
+    EXPECT_EQ(topo.junctionCount(), 1);
+    EXPECT_EQ(topo.edgeCount(), 5);
+    EXPECT_TRUE(topo.isConnected());
+    // Every trap has degree 1; the hub joins them all.
+    for (TrapId t = 0; t < topo.trapCount(); ++t)
+        EXPECT_EQ(topo.degree(topo.trapNode(t)), 1);
+    EXPECT_EQ(topo.degree(topo.nodeCount() - 1), 5);
+    EXPECT_THROW(makeStar(1, 20), ConfigError);
+}
+
+TEST(Builders, HTreeShape)
+{
+    const Topology topo = makeHTree(3, 20);
+    EXPECT_EQ(topo.trapCount(), 8);   // 2^3 leaves
+    EXPECT_EQ(topo.junctionCount(), 7); // 2^3 - 1 internal nodes
+    EXPECT_EQ(topo.edgeCount(), 14);
+    EXPECT_TRUE(topo.isConnected());
+    // Root is a straight-through corner, other junctions are Ys.
+    int degree2 = 0;
+    int degree3 = 0;
+    for (NodeId n = 0; n < topo.nodeCount(); ++n) {
+        if (topo.node(n).kind != NodeKind::Junction)
+            continue;
+        if (topo.degree(n) == 2)
+            ++degree2;
+        else if (topo.degree(n) == 3)
+            ++degree3;
+    }
+    EXPECT_EQ(degree2, 1);
+    EXPECT_EQ(degree3, 6);
+    EXPECT_THROW(makeHTree(0, 20), ConfigError);
+    EXPECT_THROW(makeHTree(11, 20), ConfigError);
+}
+
+TEST(Builders, NewFamilySpecStrings)
+{
+    EXPECT_EQ(makeFromSpec("ring:5", 20).trapCount(), 5);
+    EXPECT_EQ(makeFromSpec("r5", 20).edgeCount(), 5);
+    EXPECT_EQ(makeFromSpec("star:4", 20).junctionCount(), 1);
+    EXPECT_EQ(makeFromSpec("htree:2", 20).trapCount(), 4);
+    EXPECT_EQ(makeFromSpec("h2", 20).junctionCount(), 3);
+    EXPECT_EQ(makeFromSpec("ring:5:s3", 20).edge(0).segments, 3);
+}
+
+TEST(Builders, FamilyRegistryListsBuiltins)
+{
+    const auto &families = topologyFamilies();
+    ASSERT_GE(families.size(), 5u);
+    std::vector<std::string> names;
+    for (const TopologyFamily &family : families)
+        names.push_back(family.name);
+    for (const char *expected :
+         {"linear", "grid", "ring", "star", "htree"})
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+}
+
+TEST(Builders, RegisterRejectsCollisionsAndMalformedFamilies)
+{
+    TopologyFamily dup;
+    dup.name = "linear";
+    dup.build = [](const std::vector<int> &, int, int) {
+        return makeLinear(1, 2);
+    };
+    EXPECT_THROW(registerTopologyFamily(dup), ConfigError);
+
+    TopologyFamily clash;
+    clash.name = "ladder";
+    clash.shortForm = 'g'; // taken by grid
+    clash.build = dup.build;
+    EXPECT_THROW(registerTopologyFamily(clash), ConfigError);
+
+    TopologyFamily nameless;
+    nameless.build = dup.build;
+    EXPECT_THROW(registerTopologyFamily(nameless), ConfigError);
+
+    TopologyFamily reserved;
+    reserved.name = "topo";
+    reserved.build = dup.build;
+    EXPECT_THROW(registerTopologyFamily(reserved), ConfigError);
+
+    TopologyFamily no_builder;
+    no_builder.name = "ladder";
+    EXPECT_THROW(registerTopologyFamily(no_builder), ConfigError);
+}
+
+TEST(Builders, RegisteredFamilyIsBuildableFromSpecs)
+{
+    // A "pair" family: two equal traps, N segments apart. Registration
+    // is process-global, so run it exactly once even under
+    // --gtest_repeat.
+    static const bool registered = [] {
+        TopologyFamily pair;
+        pair.name = "pairx";
+        pair.arity = 1;
+        pair.grammar = "pairx:N";
+        pair.description = "two traps, N segments apart";
+        pair.build = [](const std::vector<int> &sizes, int capacity,
+                        int segments) {
+            Topology topo =
+                makeLinear(2, capacity, sizes[0] * segments);
+            return topo;
+        };
+        registerTopologyFamily(pair);
+        return true;
+    }();
+    ASSERT_TRUE(registered);
+    const Topology topo = makeFromSpec("pairx:4", 10);
+    EXPECT_EQ(topo.trapCount(), 2);
+    EXPECT_EQ(topo.edge(0).segments, 4);
+    EXPECT_EQ(makeFromSpec("pairx:4:s2", 10).edge(0).segments, 8);
+}
+
+TEST(Builders, SpecErrorsCarrySpecAndPosition)
+{
+    const auto diagnostic = [](const std::string &spec) {
+        try {
+            makeFromSpec(spec, 20);
+            return std::string("(no error)");
+        } catch (const ConfigError &err) {
+            return std::string(err.what());
+        }
+    };
+    // Offending spec plus 1-based position of the bad character.
+    EXPECT_NE(diagnostic("linear:6:sX").find("'linear:6:sX':11"),
+              std::string::npos);
+    EXPECT_NE(diagnostic("linear:0").find("'linear:0':8"),
+              std::string::npos);
+    EXPECT_NE(diagnostic("grid:2xx3").find("'grid:2xx3'"),
+              std::string::npos);
+    EXPECT_NE(diagnostic("linear:2x3").find("takes 1 size"),
+              std::string::npos);
+    EXPECT_NE(diagnostic("grid:23").find("takes 2 sizes"),
+              std::string::npos);
+    EXPECT_NE(diagnostic("ring").find("expected ':'"),
+              std::string::npos);
+    EXPECT_NE(diagnostic("linear:6:q4").find("unknown spec suffix"),
+              std::string::npos);
+    EXPECT_NE(diagnostic("linear:6:s2:s3").find("duplicate ':sN'"),
+              std::string::npos);
+    EXPECT_NE(diagnostic("topo:").find("path after 'topo:'"),
+              std::string::npos);
+    // validateTopologySpec raises the same syntax errors without
+    // building and accepts every well-formed spec.
+    EXPECT_THROW(validateTopologySpec("linear:6:sX"), ConfigError);
+    EXPECT_THROW(validateTopologySpec("bogus"), ConfigError);
+    EXPECT_NO_THROW(validateTopologySpec("htree:3"));
+    EXPECT_NO_THROW(validateTopologySpec("topo:some/file.topo"));
 }
 
 TEST(Builders, SegmentSuffixSpecs)

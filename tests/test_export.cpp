@@ -35,6 +35,24 @@ TEST(Export, CsvHasHeaderAndOneRowPerPoint)
     EXPECT_NE(csv.find("bv,linear:3,26,FM,GS,"), std::string::npos);
 }
 
+TEST(Export, TopoFileSpecsExportTheDeviceStem)
+{
+    // Rows carry the device name, not the machine-local file path.
+    SweepPoint point;
+    point.application = "bv";
+    point.design.topologySpec = "topo:examples/topos/ring6.topo";
+    point.design.trapCapacity = 22;
+    EXPECT_EQ(point.design.topologyLabel(), "ring6");
+    EXPECT_EQ(sweepCsvRow(point).rfind("bv,ring6,22,", 0), 0u);
+    EXPECT_NE(sweepJsonRow(point).find("\"topology\": \"ring6\""),
+              std::string::npos);
+    // Builder specs export verbatim (golden CSV compatibility).
+    point.design.topologySpec = "grid:2x3";
+    EXPECT_EQ(point.design.topologyLabel(), "grid:2x3");
+    EXPECT_NE(sweepCsvRow(point).find("bv,grid:2x3,22,"),
+              std::string::npos);
+}
+
 TEST(Export, CsvColumnCountConsistent)
 {
     const std::string csv = toCsv(smallSweep());

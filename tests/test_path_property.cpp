@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Property tests for PathFinder on arbitrary connected topologies.
+ *
+ * The generalized architecture layer promises correct routing on any
+ * trap/junction graph, not just the paper's rail shapes. This suite
+ * checks PathFinder against an independent Floyd-Warshall reference
+ * (same cost semantics, different algorithm) over ~50 random connected
+ * topologies: cost optimality, cost symmetry, and step-sequence
+ * validity of every reconstructed path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/builders.hpp"
+#include "arch/path.hpp"
+#include "arch/topology.hpp"
+#include "common/rng.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+/** Traversal price of crossing node @p n, mirroring path.cpp. */
+double
+traversalCost(const Topology &topo, NodeId n, const PathCost &cost)
+{
+    if (topo.node(n).kind == NodeKind::Trap)
+        return cost.trapPassThrough;
+    return topo.degree(n) <= 3 ? cost.yJunction : cost.xJunction;
+}
+
+/**
+ * Floyd-Warshall over the node graph with intermediate-node traversal
+ * costs: dist[u][v] covers the edges of the u..v walk plus the
+ * traversal price of every interior node (endpoints are free, matching
+ * PathFinder's semantics).
+ */
+std::vector<std::vector<double>>
+referenceDistances(const Topology &topo, const PathCost &cost)
+{
+    const int n = topo.nodeCount();
+    const double inf = 1e18;
+    std::vector<std::vector<double>> dist(n,
+                                          std::vector<double>(n, inf));
+    for (int u = 0; u < n; ++u)
+        dist[u][u] = 0;
+    for (EdgeId e = 0; e < topo.edgeCount(); ++e) {
+        const TopoEdge &edge = topo.edge(e);
+        const double w = edge.segments * cost.perSegment;
+        dist[edge.a][edge.b] = std::min(dist[edge.a][edge.b], w);
+        dist[edge.b][edge.a] = std::min(dist[edge.b][edge.a], w);
+    }
+    for (int w = 0; w < n; ++w) {
+        const double through = traversalCost(topo, w, cost);
+        for (int u = 0; u < n; ++u) {
+            if (u == w || dist[u][w] >= inf)
+                continue;
+            for (int v = 0; v < n; ++v) {
+                if (v == w)
+                    continue;
+                const double via = dist[u][w] + through + dist[w][v];
+                if (via < dist[u][v])
+                    dist[u][v] = via;
+            }
+        }
+    }
+    return dist;
+}
+
+/** Random connected topology: spanning tree plus chords. */
+Topology
+randomTopology(Rng &rng)
+{
+    Topology topo;
+    const int traps = 2 + static_cast<int>(rng.nextBelow(7));
+    const int junctions = static_cast<int>(rng.nextBelow(5));
+    const int nodes = traps + junctions;
+
+    // Interleave trap/junction creation so node ids and kinds mix, but
+    // guarantee the trap quota exactly.
+    std::vector<char> is_trap;
+    for (int i = 0; i < traps; ++i)
+        is_trap.push_back(1);
+    for (int i = 0; i < junctions; ++i)
+        is_trap.push_back(0);
+    for (int i = nodes - 1; i > 0; --i) {
+        const int j = static_cast<int>(rng.nextBelow(i + 1));
+        std::swap(is_trap[i], is_trap[j]);
+    }
+    for (int i = 0; i < nodes; ++i) {
+        if (is_trap[i])
+            topo.addTrap(2 + static_cast<int>(rng.nextBelow(20)));
+        else
+            topo.addJunction();
+    }
+
+    // Random spanning tree: attach node i to an earlier node.
+    for (int i = 1; i < nodes; ++i)
+        topo.connect(i, static_cast<int>(rng.nextBelow(i)),
+                     1 + static_cast<int>(rng.nextBelow(3)));
+    // Chords for cycles (parallel edges allowed; Dijkstra and the
+    // reference both take the min).
+    const int chords = static_cast<int>(rng.nextBelow(4));
+    for (int c = 0; c < chords; ++c) {
+        const NodeId a = static_cast<int>(rng.nextBelow(nodes));
+        const NodeId b = static_cast<int>(rng.nextBelow(nodes));
+        if (a != b)
+            topo.connect(a, b, 1 + static_cast<int>(rng.nextBelow(3)));
+    }
+
+    // Junctions that ended up dangling (degree < 2) violate the device
+    // invariants; hang them off a second node to keep the graph legal.
+    for (NodeId n = 0; n < topo.nodeCount(); ++n) {
+        if (topo.node(n).kind == NodeKind::Junction &&
+            topo.degree(n) < 2)
+            topo.connect(n, n == 0 ? 1 : 0, 1);
+    }
+    return topo;
+}
+
+/** Walk @p p's steps, checking the sequence is a real src->dst walk. */
+void
+checkPathValidity(const Topology &topo, const Path &p,
+                  const PathCost &cost)
+{
+    ASSERT_FALSE(p.steps.empty());
+    EXPECT_EQ(p.steps.front().kind, PathStep::Kind::Edge);
+    EXPECT_EQ(p.steps.back().kind, PathStep::Kind::Edge);
+
+    NodeId at = p.src;
+    double walked = 0;
+    for (size_t i = 0; i < p.steps.size(); ++i) {
+        const PathStep &step = p.steps[i];
+        if (step.kind == PathStep::Kind::Edge) {
+            const TopoEdge &edge = topo.edge(step.id);
+            ASSERT_TRUE(edge.a == at || edge.b == at)
+                << "edge " << step.id << " not incident to node " << at;
+            at = edge.other(at);
+            walked += edge.segments * cost.perSegment;
+        } else {
+            // Non-edge steps name the node the walk currently sits on,
+            // and charge its traversal price.
+            ASSERT_EQ(step.id, at);
+            const NodeKind kind = topo.node(at).kind;
+            EXPECT_EQ(step.kind == PathStep::Kind::ThroughTrap,
+                      kind == NodeKind::Trap);
+            walked += traversalCost(topo, at, cost);
+            // Interior only: never first or last.
+            EXPECT_GT(i, 0u);
+            EXPECT_LT(i, p.steps.size() - 1);
+        }
+    }
+    EXPECT_EQ(at, p.dst);
+    // The step sequence's own cost must equal the reported cost.
+    EXPECT_NEAR(walked, p.cost, 1e-9);
+}
+
+TEST(PathProperty, MatchesFloydWarshallOnRandomTopologies)
+{
+    Rng rng(0xABCD2026);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Topology topo = randomTopology(rng);
+        ASSERT_TRUE(topo.isConnected());
+        const PathCost cost;
+        const PathFinder finder(topo, cost);
+        const auto ref = referenceDistances(topo, cost);
+
+        for (TrapId a = 0; a < topo.trapCount(); ++a) {
+            for (TrapId b = 0; b < topo.trapCount(); ++b) {
+                const double got = finder.cost(a, b);
+                const double want =
+                    ref[topo.trapNode(a)][topo.trapNode(b)];
+                // Optimality: Dijkstra == Floyd-Warshall.
+                EXPECT_NEAR(got, want, 1e-9)
+                    << "trial " << trial << " traps " << a << "->" << b
+                    << " on " << topo.summary();
+                // Symmetry.
+                EXPECT_DOUBLE_EQ(got, finder.cost(b, a));
+                if (a != b)
+                    checkPathValidity(topo, finder.path(a, b), cost);
+                else
+                    EXPECT_TRUE(finder.path(a, b).steps.empty());
+            }
+        }
+    }
+}
+
+/** The new builder families agree with the reference too. */
+TEST(PathProperty, MatchesFloydWarshallOnBuilderFamilies)
+{
+    const char *specs[] = {"ring:3",  "ring:8",   "star:2",
+                           "star:7",  "htree:1",  "htree:4",
+                           "grid:1x3", "grid:3x4", "linear:9:s3"};
+    for (const char *spec : specs) {
+        const Topology topo = makeFromSpec(spec, 6);
+        const PathCost cost;
+        const PathFinder finder(topo, cost);
+        const auto ref = referenceDistances(topo, cost);
+        for (TrapId a = 0; a < topo.trapCount(); ++a)
+            for (TrapId b = 0; b < topo.trapCount(); ++b)
+                EXPECT_NEAR(finder.cost(a, b),
+                            ref[topo.trapNode(a)][topo.trapNode(b)],
+                            1e-9)
+                    << spec << " " << a << "->" << b;
+    }
+}
+
+} // namespace
+} // namespace qccd

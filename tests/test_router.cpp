@@ -77,6 +77,28 @@ TEST_F(RouterTest, EvictionFailsWhenDeviceFull)
                  ConfigError);
 }
 
+TEST_F(RouterTest, EvictionDiagnosticNamesTrapAndCensus)
+{
+    const Topology tiny = makeLinear(3, 2);
+    const PathFinder tiny_paths(tiny, PathCost{});
+    const Router tiny_router(tiny, tiny_paths);
+    DeviceState full(tiny, 6);
+    for (int i = 0; i < 6; ++i)
+        full.placeIon(i / 2, i, i);
+    try {
+        tiny_router.evictionTarget(full, 1, 2);
+        FAIL() << "eviction from a full device succeeded";
+    } catch (const ConfigError &err) {
+        const std::string msg = err.what();
+        // The stuck trap, the exclusion and the free-slot census are
+        // all in the diagnostic.
+        EXPECT_NE(msg.find("evicted from trap 1"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("trap 2 excluded"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("t0=0 t1=0 t2=0"), std::string::npos) << msg;
+    }
+}
+
 TEST_F(RouterTest, CoLocatedIonsPanic)
 {
     EXPECT_THROW(router_.chooseMover(state_, 0, 1), InternalError);

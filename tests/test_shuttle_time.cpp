@@ -27,12 +27,14 @@ TEST(ShuttleTime, JunctionCrossingByDegree)
     EXPECT_DOUBLE_EQ(model.junctionCrossing(4), 120.0);
     // Degrees above four still use the X-junction time.
     EXPECT_DOUBLE_EQ(model.junctionCrossing(5), 120.0);
+    // Straight-through corners (e.g. an H-tree root) cross like a Y.
+    EXPECT_DOUBLE_EQ(model.junctionCrossing(2), 100.0);
 }
 
-TEST(ShuttleTime, DegreeBelowThreePanics)
+TEST(ShuttleTime, DegreeBelowTwoPanics)
 {
     ShuttleTimeModel model;
-    EXPECT_THROW(model.junctionCrossing(2), InternalError);
+    EXPECT_THROW(model.junctionCrossing(1), InternalError);
 }
 
 TEST(ShuttleTime, ValidateRejectsNonPositive)

@@ -1,0 +1,197 @@
+/** @file Unit + fuzz tests for the `.topo` device-file parser. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/topo_file.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qccd
+{
+namespace
+{
+
+const char *kRing4 =
+    "# a four-trap ring with a named big trap\n"
+    "name ring4\n"
+    "trap a 30\n"
+    "trap b\n"
+    "trap c\n"
+    "trap d   # trailing comment\n"
+    "\n"
+    "edge a b\n"
+    "edge b c 2\n"
+    "edge c d\n"
+    "edge d a\n";
+
+TEST(TopoFile, ParsesRingWithDefaultsAndComments)
+{
+    const Topology topo = parseTopo(kRing4, "ring4.topo", 20);
+    EXPECT_EQ(topo.name(), "ring4");
+    EXPECT_EQ(topo.trapCount(), 4);
+    EXPECT_EQ(topo.junctionCount(), 0);
+    EXPECT_EQ(topo.edgeCount(), 4);
+    // Trap "a" pins capacity 30; the rest take the default 20.
+    EXPECT_EQ(topo.node(topo.trapNode(0)).capacity, 30);
+    EXPECT_EQ(topo.node(topo.trapNode(1)).capacity, 20);
+    EXPECT_EQ(topo.totalCapacity(), 90);
+    // "edge b c 2" has two transport segments.
+    EXPECT_EQ(topo.edge(1).segments, 2);
+    EXPECT_TRUE(topo.isConnected());
+}
+
+TEST(TopoFile, NameDefaultsToOriginStem)
+{
+    const Topology topo =
+        parseTopo("trap x\ntrap y\nedge x y\n",
+                  "examples/topos/mydev.topo", 10);
+    EXPECT_EQ(topo.name(), "mydev");
+}
+
+TEST(TopoFile, JunctionsAndDeclarationOrderFixTrapIds)
+{
+    const Topology topo = parseTopo("junction j\n"
+                                    "trap t1\n"
+                                    "trap t0\n"
+                                    "edge t1 j\n"
+                                    "edge t0 j\n",
+                                    "star.topo", 8);
+    // Dense trap ids follow declaration order: t1 first.
+    EXPECT_EQ(topo.trapCount(), 2);
+    EXPECT_EQ(topo.junctionCount(), 1);
+    EXPECT_EQ(topo.node(topo.trapNode(0)).kind, NodeKind::Trap);
+    EXPECT_EQ(topo.degree(0), 2); // the junction was node 0
+}
+
+struct BadCase
+{
+    const char *text;
+    const char *fragment; ///< must appear in the diagnostic
+};
+
+TEST(TopoFile, DiagnosticsCarryOriginLineColumn)
+{
+    const BadCase cases[] = {
+        {"widget a\n", "bad.topo:1:1"},
+        {"trap a\nwidget b\n", "bad.topo:2:1"},
+        {"trap a\ntrap a\n", "bad.topo:2:6"},
+        {"trap a 1\n", "bad.topo:1:8"},
+        {"trap a zap\n", "bad.topo:1:8"},
+        {"trap a\ntrap b\nedge a b extra junk\n", "bad.topo:3:16"},
+        {"trap a\nedge a zz\n", "bad.topo:2:8"},
+        {"trap a\nedge a a\n", "bad.topo:2:8"},
+        {"trap a\ntrap b\nedge a b 0\n", "bad.topo:3:10"},
+        {"name x\nname y\ntrap a\n", "bad.topo:2:1"},
+        {"trap\n", "bad.topo:1:1"},
+        {"junction j1 j2\n", "bad.topo:1:13"},
+    };
+    for (const BadCase &c : cases) {
+        try {
+            parseTopo(c.text, "bad.topo", 20);
+            FAIL() << "no error for: " << c.text;
+        } catch (const ConfigError &err) {
+            EXPECT_NE(std::string(err.what()).find(c.fragment),
+                      std::string::npos)
+                << "for input [" << c.text << "] got: " << err.what();
+        }
+    }
+}
+
+TEST(TopoFile, GraphInvariantErrorsNameTheOrigin)
+{
+    // Disconnected device.
+    try {
+        parseTopo("trap a\ntrap b\n", "islands.topo", 20);
+        FAIL() << "disconnected device accepted";
+    } catch (const ConfigError &err) {
+        EXPECT_NE(std::string(err.what()).find("islands.topo"),
+                  std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("connected"),
+                  std::string::npos);
+    }
+    // Dangling junction.
+    EXPECT_THROW(parseTopo("trap a\njunction j\nedge a j\n",
+                           "dangle.topo", 20),
+                 ConfigError);
+    // No traps at all.
+    EXPECT_THROW(parseTopo("# empty\n", "empty.topo", 20), ConfigError);
+}
+
+TEST(TopoFile, LoadMissingFileIsConfigError)
+{
+    EXPECT_THROW(loadTopoFile("/nonexistent/dev.topo", 20), ConfigError);
+}
+
+TEST(TopoFile, LoadDirectoryIsConfigErrorNotGraphError)
+{
+    // A directory "opens" fine and reads empty; the loader must name
+    // the real problem instead of "topology has no traps".
+    try {
+        loadTopoFile("/tmp", 20);
+        FAIL() << "directory accepted as a .topo file";
+    } catch (const ConfigError &err) {
+        EXPECT_NE(std::string(err.what()).find("cannot read topology"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(TopoFile, StemHelper)
+{
+    EXPECT_EQ(topoFileStem("a/b/ring4.topo"), "ring4");
+    EXPECT_EQ(topoFileStem("ring4.topo"), "ring4");
+    EXPECT_EQ(topoFileStem("ring4"), "ring4");
+    EXPECT_EQ(topoFileStem("a/b/.topo"), ".topo");
+}
+
+/**
+ * Fuzz pass: random mutations of a valid file must either parse or
+ * raise a clean typed ConfigError — never an InternalError, another
+ * exception type, or a crash.
+ */
+TEST(TopoFile, FuzzedInputsFailCleanly)
+{
+    const std::string base = kRing4;
+    Rng rng(20260731);
+    const std::string garbage_chars =
+        "\n\t #:xtrapjunctionedge0123456789-\\\"{}";
+    int parsed = 0;
+    int rejected = 0;
+    for (int iter = 0; iter < 400; ++iter) {
+        std::string text = base;
+        const int edits = 1 + static_cast<int>(rng.nextBelow(4));
+        for (int e = 0; e < edits; ++e) {
+            const uint64_t kind = rng.nextBelow(3);
+            const size_t pos =
+                text.empty() ? 0 : rng.nextBelow(text.size());
+            const char c =
+                garbage_chars[rng.nextBelow(garbage_chars.size())];
+            if (kind == 0 && !text.empty()) {
+                text[pos] = c; // overwrite
+            } else if (kind == 1) {
+                text.insert(text.begin() + pos, c); // insert
+            } else if (!text.empty()) {
+                // Delete a random slice.
+                const size_t len =
+                    1 + rng.nextBelow(std::min<size_t>(
+                            16, text.size() - pos));
+                text.erase(pos, len);
+            }
+        }
+        try {
+            const Topology topo = parseTopo(text, "fuzz.topo", 20);
+            EXPECT_GE(topo.trapCount(), 1);
+            ++parsed;
+        } catch (const ConfigError &) {
+            ++rejected; // clean typed rejection is the contract
+        }
+    }
+    // The mutator must actually exercise both outcomes.
+    EXPECT_GT(parsed, 0);
+    EXPECT_GT(rejected, 0);
+}
+
+} // namespace
+} // namespace qccd

@@ -28,6 +28,70 @@ TEST(Topology, AddTrapAndJunction)
     EXPECT_EQ(topo.totalCapacity(), 22);
 }
 
+TEST(Topology, ValidateAcceptsWellFormedGraphs)
+{
+    Topology topo;
+    const NodeId a = topo.addTrap(4);
+    const NodeId b = topo.addTrap(4);
+    const NodeId j = topo.addJunction();
+    topo.connect(a, j);
+    topo.connect(b, j);
+    EXPECT_NO_THROW(topo.validate());
+}
+
+TEST(Topology, ValidateRejectsNoTraps)
+{
+    Topology empty;
+    EXPECT_THROW(empty.validate(), ConfigError);
+    Topology junctions_only;
+    junctions_only.addJunction();
+    EXPECT_THROW(junctions_only.validate(), ConfigError);
+}
+
+TEST(Topology, ValidateRejectsDanglingJunction)
+{
+    Topology topo;
+    const NodeId a = topo.addTrap(4);
+    const NodeId j = topo.addJunction();
+    topo.connect(a, j);
+    try {
+        topo.validate();
+        FAIL() << "dangling junction accepted";
+    } catch (const ConfigError &err) {
+        EXPECT_NE(std::string(err.what()).find("junction node 1"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(Topology, ValidateRejectsDisconnectedWithCensus)
+{
+    Topology topo;
+    topo.addTrap(4);
+    topo.addTrap(4);
+    topo.addTrap(4);
+    topo.connect(0, 1);
+    try {
+        topo.validate();
+        FAIL() << "disconnected graph accepted";
+    } catch (const ConfigError &err) {
+        EXPECT_NE(std::string(err.what()).find("only 2 of 3 nodes"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(Topology, NameRoundTripsAndPrefixesSummary)
+{
+    Topology topo;
+    topo.addTrap(4);
+    EXPECT_EQ(topo.name(), "");
+    EXPECT_EQ(topo.summary().rfind("1 traps", 0), 0u);
+    topo.setName("ringlet");
+    EXPECT_EQ(topo.name(), "ringlet");
+    EXPECT_EQ(topo.summary().rfind("ringlet: ", 0), 0u);
+}
+
 TEST(Topology, ConnectBuildsAdjacency)
 {
     Topology topo;
