@@ -21,5 +21,11 @@ if(NOT TARGET GTest::gtest_main)
         URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
         URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
         DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    # The QCCD_TIDY gate covers first-party code only: clang-tidy must
+    # not run over (or fail on) fetched third-party sources.
+    set(qccd_saved_tidy "${CMAKE_CXX_CLANG_TIDY}")
+    set(CMAKE_CXX_CLANG_TIDY "")
     FetchContent_MakeAvailable(googletest)
+    set(CMAKE_CXX_CLANG_TIDY "${qccd_saved_tidy}")
+    unset(qccd_saved_tidy)
 endif()

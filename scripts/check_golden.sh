@@ -40,6 +40,16 @@ if [[ ! -x "$EXPLORE" ]]; then
     exit 1
 fi
 
+# Goldens certify RELEASE output. The checked-contract layer must be
+# compiled out of any binary whose bytes we compare — a checked build
+# passing here would prove nothing about the shipping configuration
+# (and a contract throw would masquerade as a metrics diff).
+if "$EXPLORE" --build-info | grep -q 'checked-contracts=on'; then
+    echo "error: $BUILD_DIR was configured with -DQCCD_CHECKED=ON;" >&2
+    echo "  goldens must be validated against a release build" >&2
+    exit 1
+fi
+
 shopt -s nullglob
 golden_files=("$GOLDEN_DIR"/*.csv)
 if [[ ${#golden_files[@]} -eq 0 ]]; then

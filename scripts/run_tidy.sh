@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every first-party translation unit, mirroring the
+# CI gate (findings are errors). Two ways to run it:
+#
+#   scripts/run_tidy.sh [BUILD_DIR]     # standalone, parallel
+#   cmake -B build -S . -DQCCD_TIDY=ON  # per-compile, inside the build
+#
+# The standalone path needs a configured build dir with a compilation
+# database (any configure of this tree when QCCD_TIDY=ON, or pass
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+        TIDY="$candidate"
+        break
+    fi
+done
+if [ -z "$TIDY" ]; then
+    echo "run_tidy.sh: no clang-tidy binary found on PATH" >&2
+    echo "run_tidy.sh: install clang-tidy (any version >= 14)" >&2
+    exit 3
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_tidy.sh: $BUILD_DIR/compile_commands.json missing;" >&2
+    echo "  configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first" >&2
+    exit 3
+fi
+
+# First-party TUs only: the database also holds fetched GoogleTest
+# sources when the FetchContent fallback was exercised.
+mapfile -t sources < <(git ls-files 'src/*.cpp' 'tests/*.cpp' \
+                                    'bench/*.cpp' 'examples/*.cpp')
+
+echo "run_tidy.sh: $TIDY over ${#sources[@]} files"
+printf '%s\n' "${sources[@]}" |
+    xargs -P "$(nproc)" -n 4 \
+        "$TIDY" -p "$BUILD_DIR" -warnings-as-errors='*' --quiet
+echo "run_tidy.sh: clean"

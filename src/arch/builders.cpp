@@ -233,7 +233,7 @@ parseSpecString(const std::string &spec)
         ++word_end;
     const std::string word = spec.substr(0, word_end);
 
-    size_t args_begin;
+    size_t args_begin = 0;
     if (const TopologyFamily *family = findFamily(word);
         family != nullptr) {
         parsed.family = family;
@@ -265,7 +265,7 @@ parseSpecString(const std::string &spec)
     size_t part_begin = args_begin;
     for (int part = 0; part < parsed.family->arity; ++part) {
         const bool last = part + 1 == parsed.family->arity;
-        size_t part_end;
+        size_t part_end = 0;
         if (last) {
             part_end = args_end;
             const size_t extra = spec.find('x', part_begin);

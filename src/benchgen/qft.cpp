@@ -1,5 +1,6 @@
 #include "benchgen/benchgen.hpp"
 
+#include <cmath>
 #include <numbers>
 
 #include "common/error.hpp"
@@ -19,7 +20,7 @@ makeQft(int n)
     for (QubitId i = 0; i < n; ++i) {
         circuit.h(i);
         for (QubitId j = i + 1; j < n; ++j)
-            circuit.cphase(j, i, pi / static_cast<double>(1 << (j - i)));
+            circuit.cphase(j, i, std::ldexp(pi, -(j - i)));
     }
     // The trailing bit-reversal swaps are conventionally elided on
     // hardware by relabeling outputs, as the paper's frontends do.

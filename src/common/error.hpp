@@ -79,6 +79,45 @@ panicUnless(bool ok, const char *msg)
         raiseInternalError(msg);
 }
 
+/*
+ * Checked-build contract layer.
+ *
+ * `panicUnless` guards invariants cheap enough to keep in release
+ * builds. Stage-boundary *audits* — full position-index walks, heap
+ * shape validation, occupancy conservation sums — are O(state) per
+ * call and belong only in checked builds. `QCCD_DBG_ASSERT` compiles
+ * to nothing (the condition is NOT evaluated) unless the tree is
+ * configured with -DQCCD_CHECKED=ON, so release binaries and their
+ * golden outputs are provably unaffected.
+ *
+ * A failed audit throws InternalError exactly like panicUnless, so
+ * checked-build failures surface through the ordinary error contract
+ * (and are testable with EXPECT_THROW rather than death tests).
+ */
+#if defined(QCCD_CHECKED) && QCCD_CHECKED
+#define QCCD_CHECKED_BUILD 1
+#else
+#define QCCD_CHECKED_BUILD 0
+#endif
+
+#if QCCD_CHECKED_BUILD
+/** Audit @p cond (checked builds only; else not even evaluated). */
+#define QCCD_DBG_ASSERT(cond, msg) ::qccd::panicUnless((cond), (msg))
+/** Emit @p ... statements in checked builds only. */
+#define QCCD_CHECKED_ONLY(...) __VA_ARGS__
+#else
+#define QCCD_DBG_ASSERT(cond, msg) static_cast<void>(0)
+#define QCCD_CHECKED_ONLY(...)
+#endif
+
+/** True when this build carries the contract audits (for --build-info
+ *  and the golden-check guard in scripts/check_golden.sh). */
+constexpr bool
+checkedBuildEnabled()
+{
+    return QCCD_CHECKED_BUILD != 0;
+}
+
 } // namespace qccd
 
 #endif // QCCD_COMMON_ERROR_HPP

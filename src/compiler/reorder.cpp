@@ -168,7 +168,7 @@ PrimitiveEmitter::emitSplit(TrapId t, ChainEnd end, TimeUs ready,
         std::max(ready, qubitReady_[payload]), dur);
     qubitReady_[payload] = start + dur;
 
-    Quanta ion_energy;
+    Quanta ion_energy = 0;
     if (n == 1) {
         // Extracting the last ion: it keeps the chain energy and gains
         // the split disturbance; the empty trap holds no energy.

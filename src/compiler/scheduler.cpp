@@ -132,6 +132,19 @@ Scheduler::buildQueues()
 
     // Rewind every qubit's cursor to the start of its slice.
     s.cursors_.assign(s.offsets_.begin(), s.offsets_.end() - 1);
+
+    // Checked builds audit the CSR shape: monotone offsets, a fully
+    // written index vector, and every cell naming a real gate.
+    QCCD_CHECKED_ONLY({
+        for (int q = 0; q < nq; ++q)
+            panicUnless(s.offsets_[q] <= s.offsets_[q + 1],
+                        "gate queue offsets are not monotone");
+        panicUnless(s.queue_.size() == s.offsets_[nq],
+                    "gate queue storage does not match its offsets");
+        for (const uint32_t gi : s.queue_)
+            panicUnless(gi < circuit_.size(),
+                        "gate queue cell names a nonexistent gate");
+    })
 }
 
 void
@@ -216,6 +229,8 @@ Scheduler::run()
     for (size_t gi = 0; gi < circuit_.size(); ++gi)
         if (circuit_.gate(gi).op != Op::Barrier && gateReady(gi))
             heapPush(gateReadyTime(gi), gi);
+    QCCD_DBG_ASSERT(std::is_heap(heap.begin(), heap.end(), cmp),
+                    "initial ready set is not a min-heap");
 
     size_t executed = 0;
 
@@ -223,6 +238,11 @@ Scheduler::run()
         const auto [key, gi] = heap.front();
         std::pop_heap(heap.begin(), heap.end(), cmp);
         heap.pop_back();
+        // Min-heap pop order: nothing left can sort before the popped
+        // key (O(1) per pop, so checked full runs stay fast).
+        QCCD_DBG_ASSERT(heap.empty() || !cmp(Entry{key, gi},
+                                             heap.front()),
+                        "heap popped keys out of order");
         panicUnless(gateReady(gi), "non-ready gate escaped into heap");
         const TimeUs now = gateReadyTime(gi);
         if (now > key) {
@@ -249,6 +269,20 @@ Scheduler::run()
 
     panicUnless(executed == total,
                 "scheduler finished with unexecuted gates");
+
+    // Occupancy conservation: every ion must end the run back in some
+    // trap (performShuttle always re-merges what it splits off), and
+    // every program qubit must still resolve through the payload maps.
+    QCCD_CHECKED_ONLY({
+        int trapped = 0;
+        for (TrapId t = 0; t < topo_.trapCount(); ++t)
+            trapped += state_->chain(t).size();
+        panicUnless(trapped == circuit_.numQubits(),
+                    "scheduler finished with ions in flight");
+        for (QubitId q = 0; q < circuit_.numQubits(); ++q)
+            panicUnless(state_->payloadOf(state_->ionOf(q)) == q,
+                        "qubit->ion->payload maps desynchronized");
+    })
     result_.metrics.maxChainEnergy = state_->maxEnergySeen();
     return std::move(result_);
 }
@@ -359,7 +393,7 @@ Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
                         "through-trap cannot begin or end a path");
             const EdgeId in_edge = path.steps[i - 1].id;
             const EdgeId out_edge = path.steps[i + 1].id;
-            if (state_->chain(through).size() == 0) {
+            if (state_->chain(through).ions.empty()) {
                 t = emitter_->emitTransit(through, flying, t);
                 break;
             }
@@ -388,6 +422,10 @@ Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
     const EdgeId last_edge = path.steps.back().id;
     const ChainEnd entry_end = state_->portEnd(dest, last_edge);
     t = emitter_->emitMerge(dest, entry_end, flying, t);
+    QCCD_DBG_ASSERT(state_->trapOf(flying) == dest,
+                    "shuttle did not deliver the ion to its destination");
+    QCCD_DBG_ASSERT(state_->freeSlots(dest) >= 0,
+                    "shuttle overfilled the destination trap");
     *out_time = t;
     return flying;
 }

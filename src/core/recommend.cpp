@@ -56,7 +56,7 @@ rankDesigns(const Circuit &circuit, const CandidateSpace &space,
     std::vector<RankedDesign> ranking;
     ranking.reserve(points.size());
     for (const SweepPoint &p : points)
-        ranking.push_back(RankedDesign{p.design, p.result});
+        ranking.emplace_back(p.design, p.result);
 
     std::stable_sort(ranking.begin(), ranking.end(),
                      [](const RankedDesign &a, const RankedDesign &b) {

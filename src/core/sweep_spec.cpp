@@ -10,6 +10,7 @@
 #include "benchgen/benchgen.hpp"
 #include "circuit/qasm/parser.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "compiler/mapping.hpp"
 #include "core/sweep_engine.hpp"
 
@@ -18,335 +19,6 @@ namespace qccd
 
 namespace
 {
-
-// ---------------------------------------------------------------------
-// A minimal JSON reader. Hand-rolled on purpose: the container bakes in
-// no JSON dependency, the grammar we need is small, and owning the
-// parser lets every diagnostic carry origin:line:column. Two
-// conveniences beyond strict JSON, both common in config dialects:
-// `#` comments to end of line and trailing commas in objects/arrays.
-// ---------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Kind
-    {
-        Object,
-        Array,
-        String,
-        Number,
-        Bool,
-        Null
-    };
-
-    Kind kind = Kind::Null;
-    // Members keep declaration order: grid axes expand in the order the
-    // file declares them, which is what lets a spec reproduce a
-    // compiled bench's exact row order.
-    std::vector<std::pair<std::string, JsonValue>> members;
-    std::vector<JsonValue> items;
-    std::string text;
-    double number = 0;
-    bool boolean = false;
-    int line = 0;
-    int column = 0;
-};
-
-class JsonParser
-{
-  public:
-    JsonParser(const std::string &source, const std::string &origin)
-        : src_(source), origin_(origin)
-    {
-    }
-
-    JsonValue parseDocument()
-    {
-        const JsonValue root = parseValue(0);
-        skipSpace();
-        check(pos_ >= src_.size(), "trailing content after document");
-        return root;
-    }
-
-    [[noreturn]] void failAt(const JsonValue &value,
-                             const std::string &msg) const
-    {
-        fail(value.line, value.column, msg);
-    }
-
-  private:
-    [[noreturn]] void fail(int line, int column,
-                           const std::string &msg) const
-    {
-        std::ostringstream out;
-        out << origin_ << ":" << line << ":" << column << ": " << msg;
-        throw ConfigError(out.str());
-    }
-
-    void check(bool ok, const std::string &msg) const
-    {
-        if (!ok)
-            fail(line_, column_, msg);
-    }
-
-    bool atEnd() const { return pos_ >= src_.size(); }
-
-    char peek() const { return src_[pos_]; }
-
-    char advance()
-    {
-        const char c = src_[pos_++];
-        if (c == '\n') {
-            ++line_;
-            column_ = 1;
-        } else {
-            ++column_;
-        }
-        return c;
-    }
-
-    void skipSpace()
-    {
-        while (!atEnd()) {
-            const char c = peek();
-            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
-                advance();
-            } else if (c == '#') {
-                while (!atEnd() && peek() != '\n')
-                    advance();
-            } else {
-                break;
-            }
-        }
-    }
-
-    JsonValue parseValue(int depth)
-    {
-        check(depth < kMaxDepth, "spec nesting too deep");
-        skipSpace();
-        check(!atEnd(), "unexpected end of input (expected a value)");
-        JsonValue value;
-        value.line = line_;
-        value.column = column_;
-        const char c = peek();
-        if (c == '{') {
-            parseObject(value, depth);
-        } else if (c == '[') {
-            parseArray(value, depth);
-        } else if (c == '"') {
-            value.kind = JsonValue::Kind::String;
-            value.text = parseString();
-        } else if (c == '-' || (c >= '0' && c <= '9')) {
-            parseNumber(value);
-        } else if (std::isalpha(static_cast<unsigned char>(c))) {
-            parseKeyword(value);
-        } else {
-            fail(line_, column_,
-                 std::string("unexpected character '") + c + "'");
-        }
-        return value;
-    }
-
-    void parseObject(JsonValue &value, int depth)
-    {
-        value.kind = JsonValue::Kind::Object;
-        advance(); // '{'
-        skipSpace();
-        if (!atEnd() && peek() == '}') {
-            advance();
-            return;
-        }
-        while (true) {
-            skipSpace();
-            check(!atEnd() && peek() == '"',
-                  "expected a quoted object key");
-            const int key_line = line_;
-            const int key_column = column_;
-            const std::string key = parseString();
-            for (const auto &member : value.members)
-                if (member.first == key)
-                    fail(key_line, key_column,
-                         "duplicate key \"" + key + "\"");
-            skipSpace();
-            check(!atEnd() && peek() == ':', "expected ':' after key");
-            advance();
-            value.members.emplace_back(key, parseValue(depth + 1));
-            skipSpace();
-            check(!atEnd(), "unterminated object (expected ',' or '}')");
-            if (peek() == ',') {
-                advance();
-                skipSpace();
-                check(!atEnd(),
-                      "unterminated object (expected ',' or '}')");
-                if (peek() == '}') { // trailing comma
-                    advance();
-                    return;
-                }
-                continue;
-            }
-            check(peek() == '}', "expected ',' or '}' in object");
-            advance();
-            return;
-        }
-    }
-
-    void parseArray(JsonValue &value, int depth)
-    {
-        value.kind = JsonValue::Kind::Array;
-        advance(); // '['
-        skipSpace();
-        if (!atEnd() && peek() == ']') {
-            advance();
-            return;
-        }
-        while (true) {
-            value.items.push_back(parseValue(depth + 1));
-            skipSpace();
-            check(!atEnd(), "unterminated array (expected ',' or ']')");
-            if (peek() == ',') {
-                advance();
-                skipSpace();
-                check(!atEnd(),
-                      "unterminated array (expected ',' or ']')");
-                if (peek() == ']') { // trailing comma
-                    advance();
-                    return;
-                }
-                continue;
-            }
-            check(peek() == ']', "expected ',' or ']' in array");
-            advance();
-            return;
-        }
-    }
-
-    std::string parseString()
-    {
-        advance(); // opening quote
-        std::string out;
-        while (true) {
-            check(!atEnd(), "unterminated string");
-            const char c = advance();
-            if (c == '"')
-                return out;
-            check(c != '\n', "unterminated string");
-            if (c != '\\') {
-                out.push_back(c);
-                continue;
-            }
-            check(!atEnd(), "unterminated escape sequence");
-            const char esc = advance();
-            switch (esc) {
-              case '"': out.push_back('"'); break;
-              case '\\': out.push_back('\\'); break;
-              case '/': out.push_back('/'); break;
-              case 'n': out.push_back('\n'); break;
-              case 't': out.push_back('\t'); break;
-              case 'r': out.push_back('\r'); break;
-              default:
-                fail(line_, column_,
-                     std::string("unsupported escape '\\") + esc + "'");
-            }
-        }
-    }
-
-    void parseNumber(JsonValue &value)
-    {
-        value.kind = JsonValue::Kind::Number;
-        const size_t start = pos_;
-        auto digits = [&]() {
-            size_t n = 0;
-            while (!atEnd() && peek() >= '0' && peek() <= '9') {
-                advance();
-                ++n;
-            }
-            check(n > 0, "malformed number");
-        };
-        if (peek() == '-')
-            advance();
-        digits();
-        if (!atEnd() && peek() == '.') {
-            advance();
-            digits();
-        }
-        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
-            advance();
-            if (!atEnd() && (peek() == '+' || peek() == '-'))
-                advance();
-            digits();
-        }
-        // from_chars is locale-independent and correctly rounded, so a
-        // spec literal parses to the same double the C++ compiler gives
-        // the equivalent source literal — required for bit-identical
-        // spec-vs-bench reproductions.
-        const char *first = src_.data() + start;
-        const char *last = src_.data() + pos_;
-        const auto [ptr, ec] =
-            std::from_chars(first, last, value.number);
-        check(ec == std::errc() && ptr == last,
-              "number out of range");
-        value.text.assign(first, last);
-    }
-
-    void parseKeyword(JsonValue &value)
-    {
-        std::string word;
-        while (!atEnd() &&
-               std::isalpha(static_cast<unsigned char>(peek())))
-            word.push_back(advance());
-        if (word == "true") {
-            value.kind = JsonValue::Kind::Bool;
-            value.boolean = true;
-        } else if (word == "false") {
-            value.kind = JsonValue::Kind::Bool;
-            value.boolean = false;
-        } else if (word == "null") {
-            value.kind = JsonValue::Kind::Null;
-        } else {
-            fail(value.line, value.column,
-                 "unknown keyword '" + word + "'");
-        }
-    }
-
-    static constexpr int kMaxDepth = 64;
-
-    const std::string &src_;
-    std::string origin_;
-    size_t pos_ = 0;
-    int line_ = 1;
-    int column_ = 1;
-};
-
-// ---------------------------------------------------------------------
-// Schema interpretation: JSON tree -> expanded PlannedPoints.
-// ---------------------------------------------------------------------
-
-/** Hard cap on expanded points, so a typo'd grid cannot OOM the host. */
-constexpr size_t kMaxPoints = 1u << 20;
-
-/**
- * Every grid key that takes axis values. One table drives the
- * membership check, the unknown-key error text, and (via
- * applyAxisValue's dispatch, which panics on anything not listed here)
- * keeps the three from drifting apart.
- */
-constexpr const char *kAxisKeys[] = {"apps",    "topology", "capacity",
-                                     "gate",    "reorder",  "buffer",
-                                     "policy",  "params"};
-
-std::string
-kindName(JsonValue::Kind kind)
-{
-    switch (kind) {
-      case JsonValue::Kind::Object: return "object";
-      case JsonValue::Kind::Array: return "array";
-      case JsonValue::Kind::String: return "string";
-      case JsonValue::Kind::Number: return "number";
-      case JsonValue::Kind::Bool: return "boolean";
-      case JsonValue::Kind::Null: return "null";
-    }
-    return "value";
-}
 
 class SpecBuilder
 {
@@ -396,8 +68,8 @@ class SpecBuilder
     {
         if (value.kind != kind)
             parser_.failAt(value, what + " must be a " +
-                                      kindName(kind) + ", got " +
-                                      kindName(value.kind));
+                                      jsonKindName(kind) + ", got " +
+                                      jsonKindName(value.kind));
     }
 
     /** The spec name becomes an output file stem; keep it shell-safe. */
@@ -481,7 +153,7 @@ class SpecBuilder
                 });
             }
         } else {
-            panicUnless(false, "axis key missing from kAxisKeys");
+            panicUnless(false, "axis key missing from sweepAxisKeys");
         }
     }
 
@@ -585,12 +257,12 @@ class SpecBuilder
                 continue;
             }
             bool known = false;
-            for (const char *axis_key : kAxisKeys)
+            for (const std::string &axis_key : sweepAxisKeys())
                 known = known || key == axis_key;
             if (!known) {
                 std::string list;
-                for (const char *axis_key : kAxisKeys)
-                    list += std::string(axis_key) + ", ";
+                for (const std::string &axis_key : sweepAxisKeys())
+                    list += axis_key + ", ";
                 parser_.failAt(value, "unknown grid key \"" + key +
                                           "\" (known: " + list +
                                           "options)");
@@ -614,12 +286,12 @@ class SpecBuilder
         size_t total = 1;
         for (const Axis &axis : axes) {
             const size_t n = axis.values->items.size();
-            if (total > kMaxPoints / n)
+            if (total > kMaxSweepPoints / n)
                 parser_.failAt(grid,
                                "grid expands to too many points");
             total *= n;
         }
-        if (out.size() > kMaxPoints - total)
+        if (out.size() > kMaxSweepPoints - total)
             parser_.failAt(grid, "spec expands to too many points");
 
         // Odometer over the axes: first axis is the slowest digit.
@@ -643,6 +315,19 @@ class SpecBuilder
 };
 
 } // namespace
+
+const std::vector<std::string> &
+sweepAxisKeys()
+{
+    // One table drives the membership check, the unknown-key error
+    // text, applyAxisValue's dispatch (which panics on anything not
+    // listed here), and qccd_lint's schema walk — so the four can
+    // never drift apart.
+    static const std::vector<std::string> keys = {
+        "apps",   "topology", "capacity", "gate",
+        "reorder", "buffer",  "policy",   "params"};
+    return keys;
+}
 
 SweepSpec
 parseSweepSpec(const std::string &text, const std::string &origin,

@@ -86,6 +86,17 @@ struct SweepSpec
 };
 
 /**
+ * Grid keys that take axis values ("apps", "topology", "capacity",
+ * ...). The single source of truth for the spec schema, shared by the
+ * parser's membership check and `qccd_lint`'s static walk.
+ */
+const std::vector<std::string> &sweepAxisKeys();
+
+/** Hard cap on expanded points, so a typo'd grid cannot OOM the host
+ *  (shared by the parser and `qccd_lint`'s static size check). */
+inline constexpr size_t kMaxSweepPoints = size_t{1} << 20;
+
+/**
  * Parse sweep-spec text.
  *
  * @param text the spec document

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "circuit/decompose.hpp"
+#include "common/error.hpp"
 
 namespace qccd
 {
@@ -28,6 +29,10 @@ ToolflowContext::ToolflowContext(const DesignPoint &design)
       paths_(std::make_unique<const PathFinder>(
           *topo_, Scheduler::pathCostFrom(design.hw)))
 {
+    // Checked builds re-audit the full graph invariant set on every
+    // context, so a builder bug cannot hand the toolflow a device the
+    // .topo loader would have rejected.
+    QCCD_CHECKED_ONLY(topo_->validate();)
 }
 
 ContextKey

@@ -90,6 +90,8 @@ DeviceState::placeIon(TrapId t, IonId ion, QubitId payload)
     ionPos_[ion] = c.size() - 1;
     ionPayload_[ion] = payload;
     qubitIon_[payload] = ion;
+    QCCD_DBG_ASSERT(positionIndexConsistent(),
+                    "placeIon broke the position index");
 }
 
 const ChainState &
@@ -149,6 +151,9 @@ DeviceState::swapPayloads(IonId a, IonId b)
     std::swap(ionPayload_[a], ionPayload_[b]);
     qubitIon_[ionPayload_[a]] = a;
     qubitIon_[ionPayload_[b]] = b;
+    QCCD_DBG_ASSERT(qubitIon_[ionPayload_[a]] == a &&
+                        qubitIon_[ionPayload_[b]] == b,
+                    "swapPayloads broke the qubit->ion index");
 }
 
 IonId
@@ -164,6 +169,8 @@ DeviceState::swapToward(IonId ion, ChainEnd end)
     std::swap(ions[pos], ions[next]);
     ionPos_[ions[pos]] = pos;
     ionPos_[ions[next]] = next;
+    QCCD_DBG_ASSERT(positionIndexConsistent(),
+                    "swapToward broke the position index");
     return ions[pos];
 }
 
@@ -172,7 +179,7 @@ DeviceState::detachEnd(TrapId t, ChainEnd end, Quanta ion_energy)
 {
     ChainState &c = chains_[t];
     panicUnless(c.size() >= 1, "cannot split an empty chain");
-    IonId ion;
+    IonId ion = kInvalidId;
     if (end == ChainEnd::Left) {
         ion = c.ions.front();
         c.ions.erase(c.ions.begin());
@@ -185,6 +192,8 @@ DeviceState::detachEnd(TrapId t, ChainEnd end, Quanta ion_energy)
     ionPos_[ion] = kInvalidId;
     flightEnergy_[ion] = ion_energy;
     maxEnergySeen_ = std::max(maxEnergySeen_, ion_energy);
+    QCCD_DBG_ASSERT(positionIndexConsistent(),
+                    "detachEnd broke the position index");
     return ion;
 }
 
@@ -203,6 +212,8 @@ DeviceState::attachEnd(TrapId t, ChainEnd end, IonId ion)
         ionTrap_[ion] = t;
         ionPos_[ion] = c.size() - 1;
     }
+    QCCD_DBG_ASSERT(positionIndexConsistent(),
+                    "attachEnd broke the position index");
 }
 
 Quanta

@@ -197,7 +197,7 @@ parseIsa(const std::string &text)
                                   std::to_string(line_no));
             const std::string_view key = attr.substr(0, eq);
             const std::string_view value = attr.substr(eq + 1);
-            bool ok;
+            bool ok = false;
             if (key == "trap") ok = parseInt(value, &op.trap);
             else if (key == "edge") ok = parseInt(value, &op.edge);
             else if (key == "junction")

@@ -70,6 +70,7 @@ printUsage()
         "                    (default: QCCD_JOBS env, then all cores)\n"
         "  --list            list available benchmark applications\n"
         "  --topologies      list registered topology families\n"
+        "  --build-info      print build provenance (checked contracts)\n"
         "\n"
         "Declarative sweeps (see examples/sweeps/ and README):\n"
         "  --sweep FILE      run a .sweep design-space specification\n"
@@ -257,6 +258,15 @@ main(int argc, char **argv)
             };
             if (arg == "--help" || arg == "-h") {
                 printUsage();
+                return 0;
+            } else if (arg == "--build-info") {
+                // Machine-readable build provenance. check_golden.sh
+                // refuses to bless goldens from a checked build: the
+                // contract layer must be provably compiled out of any
+                // binary whose output is compared byte-for-byte.
+                std::cout << "checked-contracts="
+                          << (checkedBuildEnabled() ? "on" : "off")
+                          << "\n";
                 return 0;
             } else if (arg == "--list") {
                 for (const BenchmarkSpec &spec : benchmarkList())

@@ -2,10 +2,12 @@
 # CLI error-path contract for qccd_explore: every bad input must exit
 # nonzero with a one-line diagnostic on stderr — no silent defaults, no
 # partial output, no crash. Registered with CTest (label tier1) by
-# tests/CMakeLists.txt; $1 is the qccd_explore binary.
+# tests/CMakeLists.txt; $1 is the qccd_explore binary, $2 (optional)
+# the qccd_lint binary.
 set -u
 
-EXPLORE=${1:?usage: cli_errors.sh /path/to/qccd_explore}
+EXPLORE=${1:?usage: cli_errors.sh /path/to/qccd_explore [qccd_lint]}
+LINT=${2:-}
 failures=0
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
@@ -146,6 +148,56 @@ if [[ -s "$scratch/tiny.shard0of2.csv" && -s "$scratch/tiny.shard1of2.csv" ]] \
 else
     echo "FAIL: sharded default output naming" >&2
     failures=$((failures + 1))
+fi
+
+# qccd_lint: usage errors exit 2 with one-line stderr; findings exit 1
+# with diagnostics on stdout; a clean tree exits 0. Bad artifacts must
+# produce diagnostics, never a crash.
+if [[ -n "$LINT" ]]; then
+    "$LINT" > /dev/null 2> "$scratch/stderr"
+    if [[ $? -ne 2 || $(wc -l < "$scratch/stderr") -ne 1 ]]; then
+        echo "FAIL: lint with no paths should exit 2, one line" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: lint usage error exits 2"
+    fi
+
+    "$LINT" --frobnicate x > /dev/null 2> "$scratch/stderr"
+    if [[ $? -ne 2 ]] || ! grep -q "unknown option" "$scratch/stderr"; then
+        echo "FAIL: lint unknown option should exit 2" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: lint unknown option exits 2"
+    fi
+
+    "$LINT" "$scratch/missing.sweep" > "$scratch/stdout" 2>&1
+    if [[ $? -ne 1 ]] || ! grep -q "missing-file" "$scratch/stdout"; then
+        echo "FAIL: lint on a missing path should exit 1 with a" \
+             "missing-file diagnostic" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: lint missing path is a diagnostic, exit 1"
+    fi
+
+    echo '{"name": "x", "sweeps": [{' > "$scratch/garbled.sweep"
+    "$LINT" "$scratch/garbled.sweep" > "$scratch/stdout" 2>&1
+    if [[ $? -ne 1 ]] || ! grep -qE "garbled\.sweep:[0-9]+:" "$scratch/stdout"; then
+        echo "FAIL: lint on a garbled spec should exit 1 with a" \
+             "positioned diagnostic" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: lint garbled spec diagnoses with position"
+    fi
+
+    echo '{"name": "ok", "sweeps": [{"apps": ["bv"]}]}' \
+        > "$scratch/fine.sweep"
+    "$LINT" --quiet "$scratch/fine.sweep" > "$scratch/stdout" 2>&1
+    if [[ $? -ne 0 ]] || ! grep -q "0 error(s)" "$scratch/stdout"; then
+        echo "FAIL: lint on a clean spec should exit 0" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: lint clean spec exits 0"
+    fi
 fi
 
 if [[ $failures -eq 0 ]]; then
