@@ -103,7 +103,9 @@ BM_ScheduleQft(benchmark::State &state)
     const Topology topo = makeLinear(6, 22);
     HardwareParams hw;
     for (auto _ : state) {
-        Scheduler sched(native, topo, hw, ScheduleOptions{false, false});
+        ScheduleOptions sched_options;
+        sched_options.collectTrace = false;
+        Scheduler sched(native, topo, hw, sched_options);
         benchmark::DoNotOptimize(sched.run().metrics.makespan);
     }
 }

@@ -1,0 +1,48 @@
+#include "common/deadline.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace qccd
+{
+
+Deadline
+Deadline::afterMs(long budget_ms)
+{
+    fatalUnless(budget_ms >= 0, "deadline budget must be non-negative");
+    Deadline d;
+    d.due_ = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(budget_ms);
+    d.budgetMs_ = budget_ms;
+    d.armed_ = true;
+    return d;
+}
+
+Deadline
+Deadline::expired()
+{
+    Deadline d;
+    d.due_ = std::chrono::steady_clock::time_point::min();
+    d.budgetMs_ = 0;
+    d.armed_ = true;
+    return d;
+}
+
+bool
+Deadline::exceededNow() const
+{
+    return armed_ && std::chrono::steady_clock::now() > due_;
+}
+
+void
+Deadline::checkArmed(const char *stage) const
+{
+    if (std::chrono::steady_clock::now() <= due_)
+        return;
+    throw TimeoutError("point exceeded its " +
+                       std::to_string(budgetMs_) +
+                       " ms deadline at " + stage);
+}
+
+} // namespace qccd

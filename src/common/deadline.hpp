@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cooperative watchdog deadlines for bounding a runaway toolflow point.
+ *
+ * A Deadline is an absolute wall-clock due time checked at coarse stage
+ * boundaries (the scheduler's ready-heap pop loop, router evictions,
+ * shuttle emission). When the due time passes, the next check() throws
+ * TimeoutError naming the stage, so a pathological design point turns
+ * into a per-point `timeout` outcome instead of a stuck worker pool.
+ *
+ * The design is deliberately cooperative — no signals, no watchdog
+ * threads — so an expired point unwinds through the ordinary exception
+ * contract with the device state simply discarded, and an unarmed
+ * deadline costs one predicted branch per check (goldens from runs
+ * without --point-timeout-ms are provably unaffected).
+ */
+
+#ifndef QCCD_COMMON_DEADLINE_HPP
+#define QCCD_COMMON_DEADLINE_HPP
+
+#include <chrono>
+
+namespace qccd
+{
+
+/** An absolute due time; default-constructed deadlines never fire. */
+class Deadline
+{
+  public:
+    /** Unarmed: check() is a no-op. */
+    Deadline() = default;
+
+    /** Armed @p budget_ms milliseconds from now (@p budget_ms >= 0). */
+    static Deadline afterMs(long budget_ms);
+
+    /** Armed and already due (deterministic timeouts in tests). */
+    static Deadline expired();
+
+    bool armed() const { return armed_; }
+
+    /** True when armed and the due time has passed. */
+    bool exceededNow() const;
+
+    /**
+     * Throw TimeoutError naming @p stage when the deadline has passed.
+     * Unarmed deadlines return immediately (one branch, no clock read).
+     */
+    void check(const char *stage) const
+    {
+        if (!armed_) [[likely]]
+            return;
+        checkArmed(stage);
+    }
+
+  private:
+    void checkArmed(const char *stage) const;
+
+    std::chrono::steady_clock::time_point due_{};
+    long budgetMs_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace qccd
+
+#endif // QCCD_COMMON_DEADLINE_HPP

@@ -38,6 +38,20 @@ class InternalError : public QccdError
     explicit InternalError(const std::string &msg) : QccdError(msg) {}
 };
 
+/**
+ * A cooperative watchdog deadline expired (see common/deadline.hpp).
+ *
+ * Distinct from ConfigError/InternalError so sweep isolation can
+ * classify a runaway point as `timeout` rather than `error`: the
+ * configuration may be perfectly valid, it just exceeded the budget
+ * the caller gave it.
+ */
+class TimeoutError : public QccdError
+{
+  public:
+    explicit TimeoutError(const std::string &msg) : QccdError(msg) {}
+};
+
 /** Out-of-line throw helpers so the inline checks stay branch-only. @{ */
 [[noreturn]] void raiseConfigError(const char *msg);
 [[noreturn]] void raiseInternalError(const char *msg);

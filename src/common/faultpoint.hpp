@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic fault injection at stage boundaries.
+ *
+ * Every coarse stage of the execution stack (circuit lowering, context
+ * construction, scheduling, routing, shuttle emission, row export)
+ * carries a named fault point:
+ *
+ *     QCCD_FAULT_POINT("scheduler.pop");
+ *
+ * In normal operation a fault point is one relaxed atomic load and a
+ * predicted branch — it cannot perturb results. When armed (via the
+ * QCCD_FAULT_INJECT environment variable at process start, or
+ * programmatically with setFaultInjectSpec() in tests), the named
+ * site counts its hits and throws at exactly the requested one, so a
+ * test can prove that *every* error path leaves the engine and its
+ * output files consistent.
+ *
+ * Spec grammar (comma-separated arm directives):
+ *
+ *     QCCD_FAULT_INJECT="scheduler.pop=120,router.evict=1:alloc"
+ *
+ * Each directive is SITE=N[:KIND]: at the Nth hit (1-based, counted
+ * process-wide) of SITE, throw KIND:
+ *
+ *     throw    InternalError  (default — a latent logic bug)
+ *     alloc    std::bad_alloc (simulated allocation failure)
+ *     config   ConfigError    (an infeasible-input path)
+ *     timeout  TimeoutError   (a deterministic watchdog expiry)
+ *
+ * Hits are deterministic per (site, counter); with one worker thread
+ * the faulting point is fully reproducible. A malformed env spec is
+ * diagnosed on stderr and the process exits 2 before main() runs — a
+ * typo'd fault campaign must never silently test nothing.
+ */
+
+#ifndef QCCD_COMMON_FAULTPOINT_HPP
+#define QCCD_COMMON_FAULTPOINT_HPP
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace qccd
+{
+
+namespace detail
+{
+
+/** True when any site is armed (set once; relaxed reads are safe). */
+extern std::atomic<bool> faultInjectArmed;
+
+/** Count a hit of @p site and throw if its armed trigger is reached. */
+void faultPointHit(const char *site);
+
+} // namespace detail
+
+/** Stage-boundary fault point; see the file comment for the grammar. */
+#define QCCD_FAULT_POINT(site)                                          \
+    do {                                                                \
+        if (::qccd::detail::faultInjectArmed.load(                      \
+                std::memory_order_relaxed)) [[unlikely]]                \
+            ::qccd::detail::faultPointHit(site);                        \
+    } while (0)
+
+/**
+ * Every fault-point site name compiled into the library, so tests can
+ * enumerate the campaign (tests/test_faults.cpp arms each in turn and
+ * proves the engine survives it).
+ */
+const std::vector<std::string> &faultSiteNames();
+
+/**
+ * Arm fault injection from @p spec (same grammar as QCCD_FAULT_INJECT)
+ * and reset all hit counters. Unknown sites are rejected so a typo'd
+ * campaign cannot silently test nothing.
+ *
+ * @throws ConfigError on a malformed spec
+ */
+void setFaultInjectSpec(const std::string &spec);
+
+/** Disarm all sites and reset hit counters. */
+void clearFaultInject();
+
+} // namespace qccd
+
+#endif // QCCD_COMMON_FAULTPOINT_HPP

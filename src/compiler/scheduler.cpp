@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 
 namespace qccd
 {
@@ -92,6 +93,8 @@ Scheduler::validateAndInitEmitter()
 void
 Scheduler::buildQueues()
 {
+    QCCD_FAULT_POINT("scheduler.build_queues");
+
     SchedulerScratch &s = *scratch_;
     const int nq = circuit_.numQubits();
 
@@ -233,8 +236,17 @@ Scheduler::run()
                     "initial ready set is not a min-heap");
 
     size_t executed = 0;
+    size_t pops = 0;
 
     while (!heap.empty()) {
+        // Watchdog: a clock read per pop would be measurable on the
+        // 1 ms/point hot path, so the deadline is sampled every 256
+        // pops (the first pop included, so an already-expired deadline
+        // fires before any work). Unarmed deadlines cost one branch.
+        QCCD_FAULT_POINT("scheduler.pop");
+        if ((pops++ & 0xFF) == 0)
+            options_.deadline.check("scheduler.pop");
+
         const auto [key, gi] = heap.front();
         std::pop_heap(heap.begin(), heap.end(), cmp);
         heap.pop_back();
@@ -290,6 +302,8 @@ Scheduler::run()
 void
 Scheduler::executeGate(size_t gi)
 {
+    QCCD_FAULT_POINT("scheduler.execute");
+
     const Gate &g = circuit_.gate(gi);
     if (g.isMeasure()) {
         emitter_->emitMeasure(g.q0, 0);
@@ -327,6 +341,9 @@ Scheduler::executeGate(size_t gi)
 void
 Scheduler::evictFrom(TrapId dest, IonId keep, TimeUs ready)
 {
+    QCCD_FAULT_POINT("router.evict");
+    options_.deadline.check("router.evict");
+
     // Victim: the ion whose payload is needed latest (unused payloads
     // first), never the gate partner we must keep.
     const ChainState &chain = state_->chain(dest);
@@ -354,6 +371,9 @@ IonId
 Scheduler::performShuttle(IonId ion, TrapId dest, TimeUs ready,
                           TimeUs *out_time)
 {
+    QCCD_FAULT_POINT("shuttle.emit");
+    options_.deadline.check("shuttle.emit");
+
     const TrapId src = state_->trapOf(ion);
     panicUnless(src != kInvalidId && src != dest,
                 "shuttle needs a trapped ion and a distinct destination");

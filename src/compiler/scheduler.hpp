@@ -34,6 +34,7 @@
 #include "arch/path.hpp"
 #include "arch/topology.hpp"
 #include "circuit/circuit.hpp"
+#include "common/deadline.hpp"
 #include "compiler/mapping.hpp"
 #include "compiler/reorder.hpp"
 #include "compiler/router.hpp"
@@ -53,6 +54,14 @@ struct ScheduleOptions
 
     /** Initial placement policy (paper default: packed). */
     MappingPolicy mappingPolicy = MappingPolicy::Packed;
+
+    /**
+     * Cooperative watchdog checked at stage boundaries (pop loop,
+     * evictions, shuttle emission); unarmed by default. An expired
+     * deadline throws TimeoutError, leaving the scratch buffers valid
+     * for the next run (every run fully reinitializes them).
+     */
+    Deadline deadline;
 };
 
 /** Output of one compile+simulate pass. */

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 
 namespace qccd
 {
@@ -144,6 +145,41 @@ sweepJsonRow(const SweepPoint &point)
     return out.str();
 }
 
+std::string
+sweepErrorsHeader()
+{
+    return "index,application,topology,capacity,gate,reorder,outcome,"
+           "error";
+}
+
+std::string
+sweepErrorRow(size_t index, const SweepPoint &point)
+{
+    // The diagnostic is arbitrary text (paths, quotes, commas, even
+    // newlines from a multi-line invariant report); quote it and keep
+    // the sidecar one line per failure so torn-line healing and row
+    // counting work on it unchanged.
+    std::string quoted = "\"";
+    for (const char c : point.error) {
+        if (c == '"')
+            quoted += "\"\"";
+        else if (c == '\n' || c == '\r')
+            quoted += ' ';
+        else
+            quoted += c;
+    }
+    quoted += '"';
+
+    std::ostringstream out;
+    out << index << ',' << point.application << ','
+        << point.design.topologyLabel() << ','
+        << point.design.trapCapacity << ','
+        << gateImplName(point.design.hw.gateImpl) << ','
+        << reorderMethodName(point.design.hw.reorder) << ','
+        << pointOutcomeName(point.outcome) << ',' << quoted;
+    return out.str();
+}
+
 SweepRowWriter::SweepRowWriter(std::ostream &out, ExportFormat format,
                                bool with_header, size_t rows_before)
     : out_(out), format_(format), rows_(rows_before)
@@ -163,6 +199,7 @@ SweepRowWriter::SweepRowWriter(std::ostream &out, ExportFormat format,
 void
 SweepRowWriter::write(const SweepPoint &point)
 {
+    QCCD_FAULT_POINT("export.row");
     panicUnless(!finished_, "write after SweepRowWriter::finish");
     if (format_ == ExportFormat::Csv) {
         out_ << sweepCsvRow(point) << '\n';
@@ -218,6 +255,21 @@ writeTextFile(const std::string &text, const std::string &path)
     fatalUnless(out.good(), "cannot write file '" + path + "'");
     out << text;
     fatalUnless(out.good(), "error writing file '" + path + "'");
+}
+
+void
+replaceTextFileAtomic(const std::string &text, const std::string &path)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        fatalUnless(out.good(), "cannot write file '" + tmp + "'");
+        out << text;
+        out.flush();
+        fatalUnless(out.good(), "error writing file '" + tmp + "'");
+    }
+    fatalUnless(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename '" + tmp + "' over '" + path + "'");
 }
 
 } // namespace qccd

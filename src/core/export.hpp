@@ -41,6 +41,23 @@ std::string sweepCsvRow(const SweepPoint &point);
 std::string sweepJsonRow(const SweepPoint &point);
 
 /**
+ * Header of the `<out>.errors` sidecar a --keep-going sweep writes one
+ * row to per failed point (no trailing newline). Columns: index (the
+ * point's absolute index in the expanded spec, stable across shards),
+ * the identifying design columns, the outcome class, and the
+ * diagnostic.
+ */
+std::string sweepErrorsHeader();
+
+/**
+ * One sidecar row for failed @p point at absolute spec index @p index
+ * (no trailing newline). The diagnostic is CSV-quoted (quotes doubled,
+ * newlines flattened) so the sidecar stays line-oriented — resume
+ * counts and heals it exactly like the data CSV.
+ */
+std::string sweepErrorRow(size_t index, const SweepPoint &point);
+
+/**
  * Streaming row writer over an ostream: the single formatting path for
  * sweep exports, shared by the batch helpers below, the figure benches
  * and the declarative sweep runner (qccd_explore --sweep). Rows are
@@ -90,6 +107,16 @@ std::string toJson(const std::vector<SweepPoint> &points);
 
 /** Write @p text to @p path. @throws ConfigError if unwritable. */
 void writeTextFile(const std::string &text, const std::string &path);
+
+/**
+ * Atomically replace @p path with @p text: the content is written to
+ * `path + ".tmp"` and renamed over the destination, so a reader (or a
+ * resumed run after a mid-write kill) sees either the old bytes or the
+ * new bytes, never a torn mixture — and the original survives any
+ * failure before the rename. @throws ConfigError if unwritable.
+ */
+void replaceTextFileAtomic(const std::string &text,
+                           const std::string &path);
 
 } // namespace qccd
 

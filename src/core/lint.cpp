@@ -487,13 +487,21 @@ class SweepLinter
         if (!expectKind(value, JsonValue::Kind::Object, "\"options\""))
             return;
         for (const auto &[key, v] : value.members) {
-            if (key == "decompose_runtime")
+            if (key == "decompose_runtime") {
                 expectKind(v, JsonValue::Kind::Bool,
                            "\"decompose_runtime\"");
-            else
+            } else if (key == "point_timeout_ms") {
+                if (expectKind(v, JsonValue::Kind::Number,
+                               "\"point_timeout_ms\"") &&
+                    v.number < 1)
+                    error("bad-option", v,
+                          "\"point_timeout_ms\" must be at least 1");
+            } else {
                 error("unknown-option", v,
                       "unknown option \"" + key +
-                          "\" (known: decompose_runtime)");
+                          "\" (known: decompose_runtime, "
+                          "point_timeout_ms)");
+            }
         }
     }
 

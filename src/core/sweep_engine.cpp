@@ -8,6 +8,7 @@
 #include "benchgen/benchgen.hpp"
 #include "circuit/decompose.hpp"
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 
 namespace qccd
 {
@@ -33,6 +34,7 @@ SweepEngine::SweepEngine(int jobs) : jobs_(resolveJobs(jobs))
 std::shared_ptr<const Circuit>
 SweepEngine::lower(const Circuit &circuit)
 {
+    QCCD_FAULT_POINT("engine.lower");
     return std::make_shared<const Circuit>(decomposeToNative(circuit));
 }
 
@@ -50,30 +52,42 @@ SweepEngine::context(const DesignPoint &design)
 {
     const ContextKey key = ToolflowContext::cacheKey(design);
     auto it = contexts_.find(key);
-    if (it == contexts_.end())
+    if (it == contexts_.end()) {
+        QCCD_FAULT_POINT("engine.context");
         it = contexts_
                  .emplace(key, std::make_shared<const ToolflowContext>(
                                    design))
                  .first;
+    }
     return it->second;
 }
 
 std::vector<SweepPoint>
-SweepEngine::run(const std::vector<SweepJob> &batch)
+SweepEngine::run(const std::vector<SweepJob> &batch,
+                 FailurePolicy policy)
 {
     // Populate the context cache serially so the workers only ever read
-    // shared state; each job's context is pinned by index.
-    std::vector<std::shared_ptr<const ToolflowContext>> jobContexts;
-    jobContexts.reserve(batch.size());
-    for (const SweepJob &job : batch) {
+    // shared state; each job's context is pinned by index. A failing
+    // context build is itself a per-point failure: the job is marked
+    // and skipped by the workers instead of sinking the whole batch.
+    std::vector<std::shared_ptr<const ToolflowContext>> jobContexts(
+        batch.size());
+    std::vector<SweepPoint> points(batch.size());
+    std::vector<std::exception_ptr> errors(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const SweepJob &job = batch[i];
         fatalUnless(job.native != nullptr,
                     "sweep job '" + job.application +
                         "' has no lowered circuit");
-        jobContexts.push_back(context(job.design));
+        points[i].application = job.application;
+        points[i].design = job.design;
+        try {
+            jobContexts[i] = context(job.design);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
     }
 
-    std::vector<SweepPoint> points(batch.size());
-    std::vector<std::exception_ptr> errors(batch.size());
     std::atomic<size_t> next{0};
 
     auto worker = [&]() {
@@ -84,9 +98,9 @@ SweepEngine::run(const std::vector<SweepJob> &batch)
         for (size_t i = next.fetch_add(1); i < batch.size();
              i = next.fetch_add(1)) {
             const SweepJob &job = batch[i];
+            if (errors[i])
+                continue; // context build already failed
             try {
-                points[i].application = job.application;
-                points[i].design = job.design;
                 points[i].result =
                     runToolflow(*job.native, job.design, *jobContexts[i],
                                 job.options, &scratch);
@@ -109,9 +123,14 @@ SweepEngine::run(const std::vector<SweepJob> &batch)
             t.join();
     }
 
-    for (const std::exception_ptr &error : errors)
-        if (error)
-            std::rethrow_exception(error);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        if (!errors[i])
+            continue;
+        if (policy == FailurePolicy::Rethrow)
+            std::rethrow_exception(errors[i]);
+        points[i].outcome = classifyFailure(errors[i], &points[i].error);
+        points[i].result = RunResult{};
+    }
     return points;
 }
 

@@ -51,6 +51,20 @@ struct SweepJob
     RunOptions options;
 };
 
+/**
+ * What SweepEngine::run does with a failing point.
+ *
+ * Rethrow is the historical contract (the whole batch's work is
+ * discarded behind the first exception); Isolate is the fault-tolerant
+ * contract (each point carries its own PointOutcome and the batch
+ * always completes). Isolation is what --keep-going rides on.
+ */
+enum class FailurePolicy
+{
+    Rethrow, ///< run everything, then rethrow the first point's error
+    Isolate, ///< record per-point outcomes; run() never throws per-point
+};
+
 /** Parallel evaluator for batches of design points. */
 class SweepEngine
 {
@@ -85,10 +99,17 @@ class SweepEngine
      * Evaluate every job across the worker pool.
      *
      * Results are returned in input order and are bit-identical for any
-     * worker count. If any job throws, the remaining jobs still run and
-     * the lowest-indexed exception is rethrown.
+     * worker count. Under FailurePolicy::Rethrow (the default), if any
+     * job throws the remaining jobs still run and the lowest-indexed
+     * exception is rethrown. Under FailurePolicy::Isolate a failing
+     * job (including a failing context build) becomes a per-point
+     * outcome + diagnostic and the batch always returns completely; a
+     * failed point's RunResult is default-constructed and must not be
+     * read.
      */
-    std::vector<SweepPoint> run(const std::vector<SweepJob> &batch);
+    std::vector<SweepPoint>
+    run(const std::vector<SweepJob> &batch,
+        FailurePolicy policy = FailurePolicy::Rethrow);
 
     /** Resolve a requested worker count (see the constructor). */
     static int resolveJobs(int requested);

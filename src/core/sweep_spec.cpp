@@ -228,9 +228,16 @@ class SpecBuilder
                 expect(v, JsonValue::Kind::Bool,
                        "\"decompose_runtime\"");
                 options.decomposeRuntime = v.boolean;
+            } else if (key == "point_timeout_ms") {
+                const int ms = intOf(v, "\"point_timeout_ms\"");
+                if (ms < 1)
+                    parser_.failAt(v, "\"point_timeout_ms\" must be "
+                                      "at least 1");
+                options.pointTimeoutMs = ms;
             } else {
                 parser_.failAt(v, "unknown option \"" + key +
-                                      "\" (known: decompose_runtime)");
+                                      "\" (known: decompose_runtime, "
+                                      "point_timeout_ms)");
             }
         }
     }
@@ -404,30 +411,85 @@ SweepSpecRunner::circuitFor(const PlannedPoint &point)
     return it->second;
 }
 
-void
+SweepRunStats
 SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
                      const std::function<void(const SweepPoint &)> &emit,
-                     size_t batch_size)
+                     const SweepRunPolicy &policy, size_t batch_size)
 {
     fatalUnless(batch_size >= 1, "batch size must be at least 1");
+    SweepRunStats stats;
+    const FailurePolicy engine_policy = policy.keepGoing
+                                            ? FailurePolicy::Isolate
+                                            : FailurePolicy::Rethrow;
     for (size_t start = skip; start < points.size();
          start += batch_size) {
         const size_t end =
             std::min(points.size(), start + batch_size);
+
+        // Under keepGoing a circuit that fails to load (missing QASM
+        // file, parse error, fault injection in the lowering path)
+        // becomes a prefailed point of this batch rather than sinking
+        // the whole shard; `slot` maps batch positions to engine jobs.
+        const size_t none = static_cast<size_t>(-1);
         std::vector<SweepJob> jobs;
+        std::vector<size_t> slot(end - start, none);
+        std::vector<SweepPoint> prefailed(end - start);
         jobs.reserve(end - start);
         for (size_t i = start; i < end; ++i) {
             const PlannedPoint &point = points[i];
             SweepJob job;
             job.application = point.application;
-            job.native = circuitFor(point);
             job.design = point.design;
             job.options = point.options;
+            if (policy.keepGoing) {
+                try {
+                    job.native = circuitFor(point);
+                } catch (...) {
+                    SweepPoint &failed = prefailed[i - start];
+                    failed.application = point.application;
+                    failed.design = point.design;
+                    failed.outcome = classifyFailure(
+                        std::current_exception(), &failed.error);
+                    continue;
+                }
+            } else {
+                job.native = circuitFor(point);
+            }
+            slot[i - start] = jobs.size();
             jobs.push_back(std::move(job));
         }
-        for (const SweepPoint &result : engine_.run(jobs))
+
+        const std::vector<SweepPoint> results =
+            engine_.run(jobs, engine_policy);
+        for (size_t i = start; i < end; ++i) {
+            const size_t s = slot[i - start];
+            const SweepPoint &result =
+                s == none ? prefailed[i - start] : results[s];
+            ++stats.evaluated;
+            if (!result.ok())
+                ++stats.failed;
             emit(result);
+            // The error budget stops the sweep mid-batch: emitted
+            // points stay durable, everything after them is reported
+            // as unevaluated (aborted stays false when the budget
+            // trips on the very last point — nothing was cut short).
+            if (policy.keepGoing && policy.maxErrors > 0 &&
+                stats.failed >= policy.maxErrors &&
+                (i + 1 < end || end < points.size())) {
+                stats.aborted = true;
+                return stats;
+            }
+        }
     }
+    return stats;
+}
+
+void
+SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
+                     const std::function<void(const SweepPoint &)> &emit,
+                     size_t batch_size)
+{
+    run(points, skip, emit, SweepRunPolicy{}, batch_size);
 }
 
 } // namespace qccd

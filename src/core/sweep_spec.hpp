@@ -131,6 +131,31 @@ SweepShard parseShard(const std::string &text);
  */
 std::pair<size_t, size_t> shardRange(size_t total, int index, int count);
 
+/** How SweepSpecRunner::run reacts when a point fails. */
+struct SweepRunPolicy
+{
+    /** Isolate failures as per-point outcomes instead of rethrowing
+     *  the first one (the `--keep-going` behaviour). */
+    bool keepGoing = false;
+
+    /** Under keepGoing, stop evaluating once this many points have
+     *  failed and at least one point remains (0 = unlimited). */
+    size_t maxErrors = 0;
+};
+
+/** What a SweepSpecRunner::run call did. */
+struct SweepRunStats
+{
+    /** Points emitted (successes and isolated failures). */
+    size_t evaluated = 0;
+
+    /** Emitted points whose outcome is not Ok. */
+    size_t failed = 0;
+
+    /** True when maxErrors tripped with points still unevaluated. */
+    bool aborted = false;
+};
+
 /**
  * Evaluates planned points through a SweepEngine, streaming results.
  *
@@ -148,11 +173,26 @@ class SweepSpecRunner
     /**
      * Evaluate points[skip..points.size()) in order.
      *
+     * Without @p policy.keepGoing the first failure propagates as an
+     * exception (nothing after it is evaluated). With it, a failed
+     * point — whether its circuit fails to load or its toolflow run
+     * throws — is emitted with a non-Ok outcome and evaluation
+     * continues; successful points are byte-identical to a fault-free
+     * run either way.
+     *
      * @param points planned points (typically a shard slice)
      * @param skip completed points to skip (resume support)
      * @param emit called once per completed point, in input order
+     * @param policy failure isolation (see SweepRunPolicy)
      * @param batch_size points per engine batch (>= 1)
      */
+    SweepRunStats
+    run(const std::vector<PlannedPoint> &points, size_t skip,
+        const std::function<void(const SweepPoint &)> &emit,
+        const SweepRunPolicy &policy,
+        size_t batch_size = kDefaultBatchSize);
+
+    /** Rethrow-first convenience overload (default policy). */
     void run(const std::vector<PlannedPoint> &points, size_t skip,
              const std::function<void(const SweepPoint &)> &emit,
              size_t batch_size = kDefaultBatchSize);

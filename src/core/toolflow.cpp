@@ -5,6 +5,7 @@
 
 #include "circuit/decompose.hpp"
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 
 namespace qccd
 {
@@ -50,17 +51,27 @@ runToolflow(const Circuit &native, const DesignPoint &design,
             const ToolflowContext &context, const RunOptions &options,
             SchedulerScratch *scratch)
 {
+    QCCD_FAULT_POINT("toolflow.run");
+
     // Both passes (and, through the caller's scratch, consecutive
     // points of a sweep worker) schedule out of one buffer pool.
     SchedulerScratch local;
     if (scratch == nullptr)
         scratch = &local;
 
+    // One watchdog budget covers the whole point: both passes share
+    // the same absolute due time, armed when evaluation starts.
+    const Deadline deadline = options.pointTimeoutMs > 0
+                                  ? Deadline::afterMs(
+                                        options.pointTimeoutMs)
+                                  : Deadline();
+
     RunResult result;
     {
         ScheduleOptions sched;
         sched.collectTrace = options.collectTrace;
         sched.mappingPolicy = options.mappingPolicy;
+        sched.deadline = deadline;
         Scheduler scheduler(native, context.topology(), design.hw,
                             context.paths(), sched, scratch);
         result.sim = scheduler.run().metrics;
@@ -76,6 +87,7 @@ runToolflow(const Circuit &native, const DesignPoint &design,
         sched.collectTrace = false;
         sched.zeroCommTimes = true;
         sched.mappingPolicy = options.mappingPolicy;
+        sched.deadline = deadline;
         Scheduler scheduler(native, context.topology(), design.hw,
                             context.paths(), sched, scratch);
         result.computeOnlyTime = scheduler.run().metrics.makespan;

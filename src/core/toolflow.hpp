@@ -72,6 +72,17 @@ struct RunOptions
 
     /** Initial placement policy (paper default: packed). */
     MappingPolicy mappingPolicy = MappingPolicy::Packed;
+
+    /**
+     * Watchdog budget for the whole point (both passes of a decomposed
+     * run), in milliseconds; 0 disables the deadline. When the budget
+     * is exceeded the run throws TimeoutError at the next stage
+     * boundary (scheduler pop loop, router eviction, shuttle emission)
+     * — under sweep isolation that is a `timeout` outcome instead of a
+     * stuck worker. Set via --point-timeout-ms or the spec's
+     * "point_timeout_ms" option.
+     */
+    long pointTimeoutMs = 0;
 };
 
 /**

@@ -8,7 +8,12 @@
  *                [--reorder GS|IS] [--buffer N] [--decompose]
  *                [--trace N] [--list]
  *   qccd_explore --sweep FILE [--out FILE] [--format csv|json]
- *                [--shard I/N] [--resume] [--jobs N]
+ *                [--shard I/N] [--resume] [--jobs N] [--keep-going]
+ *                [--max-errors N] [--point-timeout-ms N]
+ *
+ * Exit codes: 0 success, 1 error, 2 usage, 3 sweep completed but at
+ * least one point failed (--keep-going; see README "Failure
+ * semantics").
  *
  * Examples:
  *   qccd_explore --app qft --topology linear:6 --capacity 22 --gate FM
@@ -16,10 +21,10 @@
  *   qccd_explore --sweep examples/sweeps/fig6.sweep
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,6 +37,7 @@
 #include "core/export.hpp"
 #include "core/recommend.hpp"
 #include "core/report.hpp"
+#include "core/resume.hpp"
 #include "core/sweep_engine.hpp"
 #include "core/sweep_spec.hpp"
 #include "core/toolflow.hpp"
@@ -79,74 +85,47 @@ printUsage()
         "  --shard I/N       evaluate the I-th of N contiguous slices;\n"
         "                    concatenating the N outputs in order is\n"
         "                    byte-identical to the unsharded run\n"
-        "  --resume          append to --out, skipping completed rows\n";
+        "  --resume          append to --out, skipping completed rows\n"
+        "  --keep-going      isolate failed points: record each in\n"
+        "                    <out>.errors and keep sweeping; exit 3 if\n"
+        "                    any point failed (CSV output only)\n"
+        "  --max-errors N    stop launching new work after N failed\n"
+        "                    points and exit 1 (implies --keep-going)\n"
+        "  --point-timeout-ms N\n"
+        "                    per-point watchdog deadline; a point that\n"
+        "                    exceeds it fails with outcome 'timeout'\n"
+        "                    (overrides the spec's point_timeout_ms)\n";
 }
 
-/**
- * Rows already present in a resumed CSV (0 if the file is missing).
- *
- * A run killed mid-write can leave a final line without a terminating
- * newline; that row is incomplete, so it is dropped — the file is
- * rewritten without it — and its point is re-evaluated rather than
- * counted as done (appending after it would merge two rows).
- */
-size_t
-resumedRows(const std::string &path, bool with_header)
+/** Everything --sweep mode needs beyond the shared engine knobs. */
+struct SweepCliOptions
 {
-    std::ifstream in(path);
-    if (!in.good())
-        return 0;
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    fatalUnless(!in.bad(), "error reading '" + path + "'");
-    std::string content = buffer.str();
-    in.close();
-
-    const size_t last_newline = content.find_last_of('\n');
-    if (last_newline != content.size() - 1 && !content.empty()) {
-        content.resize(
-            last_newline == std::string::npos ? 0 : last_newline + 1);
-        writeTextFile(content, path);
-    }
-
-    std::istringstream lines(content);
-    std::string line;
-    size_t rows = 0;
-    bool first = true;
-    while (std::getline(lines, line)) {
-        if (line.empty())
-            continue;
-        if (first && with_header) {
-            fatalUnless(line == sweepCsvHeader(),
-                        "cannot resume '" + path +
-                            "': its header does not match the sweep "
-                            "CSV format");
-            first = false;
-            continue;
-        }
-        first = false;
-        ++rows;
-    }
-    return rows;
-}
+    std::string outFile;
+    std::string formatName;
+    std::string shardText;
+    bool resume = false;
+    bool keepGoing = false;
+    int maxErrors = 0;       // 0: unlimited
+    int pointTimeoutMs = 0;  // 0: no override
+    int jobs = 0;
+};
 
 int
-runSweepMode(const std::string &sweep_file, std::string out_file,
-             const std::string &format_name,
-             const std::string &shard_text, bool resume, int jobs)
+runSweepMode(const std::string &sweep_file, SweepCliOptions cli)
 {
     const SweepSpec spec = parseSweepSpecFile(sweep_file);
+    std::string out_file = cli.outFile;
 
     ExportFormat format = ExportFormat::Csv;
-    if (!format_name.empty())
-        format = exportFormatFromName(format_name);
+    if (!cli.formatName.empty())
+        format = exportFormatFromName(cli.formatName);
     else if (out_file.size() >= 5 &&
              out_file.compare(out_file.size() - 5, 5, ".json") == 0)
         format = ExportFormat::Json;
 
     SweepShard shard;
-    if (!shard_text.empty())
-        shard = parseShard(shard_text);
+    if (!cli.shardText.empty())
+        shard = parseShard(cli.shardText);
     if (out_file.empty()) {
         // Sharded runs get distinct default names: with a shared
         // default, shard 1 would truncate shard 0's freshly written
@@ -160,24 +139,32 @@ runSweepMode(const std::string &sweep_file, std::string out_file,
     }
     fatalUnless(format == ExportFormat::Csv || shard.count == 1,
                 "--shard requires CSV output");
-    fatalUnless(format == ExportFormat::Csv || !resume,
+    fatalUnless(format == ExportFormat::Csv || !cli.resume,
                 "--resume requires CSV output");
+    fatalUnless(format == ExportFormat::Csv || !cli.keepGoing,
+                "--keep-going requires CSV output (the .errors "
+                "sidecar is CSV)");
 
     const auto [first, last] =
         shardRange(spec.points.size(), shard.index, shard.count);
-    const std::vector<PlannedPoint> slice(
+    std::vector<PlannedPoint> slice(
         spec.points.begin() + static_cast<long>(first),
         spec.points.begin() + static_cast<long>(last));
+    if (cli.pointTimeoutMs > 0)
+        for (PlannedPoint &point : slice)
+            point.options.pointTimeoutMs = cli.pointTimeoutMs;
 
     // Shard 0 owns the header so that concatenating shard files in
     // index order reproduces the unsharded export byte-for-byte.
     const bool with_header = shard.index == 0;
-    const size_t done =
-        resume ? resumedRows(out_file, with_header) : 0;
-    fatalUnless(done <= slice.size(),
-                "cannot resume '" + out_file + "': it has more rows " +
-                    "than this sweep" +
-                    (shard.count > 1 ? " shard" : "") + " produces");
+    const std::string errors_path = out_file + ".errors";
+    ResumeState state;
+    if (cli.resume)
+        state = analyzeResume(out_file, with_header, cli.keepGoing,
+                              slice, first);
+    else
+        std::remove(errors_path.c_str()); // stale sidecar of an old run
+    const size_t done = state.done;
 
     std::cout << "sweep " << spec.name << ": " << spec.points.size()
               << " points";
@@ -185,30 +172,89 @@ runSweepMode(const std::string &sweep_file, std::string out_file,
         std::cout << ", shard " << shard.index << "/" << shard.count
                   << " covers [" << first << ", " << last << ")";
     if (done > 0)
-        std::cout << ", resuming past " << done << " completed rows";
-    std::cout << ", " << SweepEngine::resolveJobs(jobs)
+        std::cout << ", resuming past " << done << " completed points";
+    std::cout << ", " << SweepEngine::resolveJobs(cli.jobs)
               << " workers\n";
 
+    size_t failures_total = state.failedIndices.size();
     if (done == slice.size()) {
         std::cout << out_file << " is already complete ("
-                  << slice.size() << " rows)\n";
-        return 0;
+                  << state.csvRows << " rows";
+        if (failures_total > 0)
+            std::cout << ", " << failures_total << " failed";
+        std::cout << ")\n";
+        return failures_total > 0 ? 3 : 0;
     }
 
-    std::ofstream out(out_file, done > 0 ? std::ios::app
-                                         : std::ios::trunc);
+    // Append whenever the healed file holds anything worth keeping —
+    // including a bare header with zero data rows (a run killed right
+    // after the header write); truncating then would drop the header
+    // while the writer, seeing csvEmpty == false, skips rewriting it.
+    const bool append = done > 0 || !state.csvEmpty;
+    std::ofstream out(out_file,
+                      append ? std::ios::app : std::ios::trunc);
     fatalUnless(out.good(), "cannot write file '" + out_file + "'");
-    SweepRowWriter writer(out, format, with_header && done == 0, done);
+    SweepRowWriter writer(out, format,
+                          with_header && state.csvEmpty,
+                          state.csvRows);
 
-    SweepEngine engine(jobs);
+    // The sidecar is created lazily on the first failure, so a
+    // fault-free --keep-going run leaves no .errors file at all.
+    std::ofstream errors_out;
+    const bool sidecar_exists = !state.failedIndices.empty();
+    auto recordFailure = [&](size_t absolute, const SweepPoint &point) {
+        if (!errors_out.is_open()) {
+            errors_out.open(errors_path, sidecar_exists
+                                             ? std::ios::app
+                                             : std::ios::trunc);
+            fatalUnless(errors_out.good(),
+                        "cannot write file '" + errors_path + "'");
+            if (!sidecar_exists)
+                errors_out << sweepErrorsHeader() << '\n';
+        }
+        // One flushed line per failure, same crash-safety contract as
+        // the data CSV: a kill tears at most the final line.
+        errors_out << sweepErrorRow(absolute, point) << '\n';
+        errors_out.flush();
+        fatalUnless(errors_out.good(),
+                    "error writing '" + errors_path + "'");
+        ++failures_total;
+    };
+
+    SweepEngine engine(cli.jobs);
     SweepSpecRunner runner(engine);
-    runner.run(slice, done,
-               [&](const SweepPoint &point) { writer.write(point); });
+    SweepRunPolicy policy;
+    policy.keepGoing = cli.keepGoing;
+    policy.maxErrors = static_cast<size_t>(cli.maxErrors);
+    size_t next_index = first + done;
+    const SweepRunStats stats =
+        runner.run(slice, done,
+                   [&](const SweepPoint &point) {
+                       if (point.ok())
+                           writer.write(point);
+                       else
+                           recordFailure(next_index, point);
+                       ++next_index;
+                   },
+                   policy);
     writer.finish();
 
-    std::cout << "wrote " << (slice.size() - done) << " rows to "
-              << out_file << "\n";
-    return 0;
+    if (stats.aborted) {
+        std::cerr << "error: stopping after " << stats.failed
+                  << " failed point(s) (--max-errors "
+                  << cli.maxErrors << "); "
+                  << (slice.size() - done - stats.evaluated)
+                  << " point(s) not evaluated\n";
+        return 1;
+    }
+
+    std::cout << "wrote " << (stats.evaluated - stats.failed)
+              << " rows to " << out_file;
+    if (failures_total > 0)
+        std::cout << " (" << failures_total << " failed, see "
+                  << errors_path << ")";
+    std::cout << "\n";
+    return failures_total > 0 ? 3 : 0;
 }
 
 } // namespace
@@ -228,10 +274,7 @@ main(int argc, char **argv)
     int jobs = 0; // 0: resolve via QCCD_JOBS / hardware concurrency
     std::string isa_file;
     std::string sweep_file;
-    std::string out_file;
-    std::string format_name;
-    std::string shard_text;
-    bool resume = false;
+    SweepCliOptions sweep_cli;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -323,13 +366,24 @@ main(int argc, char **argv)
             } else if (arg == "--sweep") {
                 sweep_file = value();
             } else if (arg == "--out") {
-                out_file = value();
+                sweep_cli.outFile = value();
             } else if (arg == "--format") {
-                format_name = value();
+                sweep_cli.formatName = value();
             } else if (arg == "--shard") {
-                shard_text = value();
+                sweep_cli.shardText = value();
             } else if (arg == "--resume") {
-                resume = true;
+                sweep_cli.resume = true;
+            } else if (arg == "--keep-going") {
+                sweep_cli.keepGoing = true;
+            } else if (arg == "--max-errors") {
+                sweep_cli.maxErrors = intValue();
+                fatalUnless(sweep_cli.maxErrors >= 1,
+                            "--max-errors must be at least 1");
+                sweep_cli.keepGoing = true;
+            } else if (arg == "--point-timeout-ms") {
+                sweep_cli.pointTimeoutMs = intValue();
+                fatalUnless(sweep_cli.pointTimeoutMs >= 1,
+                            "--point-timeout-ms must be at least 1");
             } else if (arg == "--decompose") {
                 options.decomposeRuntime = true;
             } else if (arg == "--trace") {
@@ -343,12 +397,22 @@ main(int argc, char **argv)
             }
         }
 
-        if (!sweep_file.empty())
-            return runSweepMode(sweep_file, out_file, format_name,
-                                shard_text, resume, jobs);
-        fatalUnless(out_file.empty() && format_name.empty() &&
-                        shard_text.empty() && !resume,
-                    "--out/--format/--shard/--resume require --sweep");
+        if (!sweep_file.empty()) {
+            sweep_cli.jobs = jobs;
+            return runSweepMode(sweep_file, sweep_cli);
+        }
+        fatalUnless(sweep_cli.outFile.empty() &&
+                        sweep_cli.formatName.empty() &&
+                        sweep_cli.shardText.empty() &&
+                        !sweep_cli.resume && !sweep_cli.keepGoing &&
+                        sweep_cli.maxErrors == 0,
+                    "--out/--format/--shard/--resume/--keep-going/"
+                    "--max-errors require --sweep");
+
+        // The watchdog also guards single-point runs: a hung schedule
+        // becomes a clean TimeoutError instead of a stuck process.
+        if (sweep_cli.pointTimeoutMs > 0)
+            options.pointTimeoutMs = sweep_cli.pointTimeoutMs;
 
         const Circuit circuit = qasm_file.empty()
                                     ? makeBenchmark(app)

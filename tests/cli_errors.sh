@@ -92,6 +92,17 @@ expect_error "shard out of range" "shard index"        --sweep "$scratch/ok.swee
 expect_error "bad --format"     "unknown export"       --sweep "$scratch/ok.sweep" --format xml
 expect_error "json + shard"     "requires CSV"         --sweep "$scratch/ok.sweep" --format json --shard 0/2
 expect_error "sweep-only flag"  "require --sweep"      --app qft --resume
+expect_error "json + keep-going" "requires CSV"        --sweep "$scratch/ok.sweep" --format json --keep-going
+expect_error "zero --max-errors" "at least 1"          --sweep "$scratch/ok.sweep" --max-errors 0
+expect_error "text --max-errors" "expected an integer" --sweep "$scratch/ok.sweep" --max-errors some
+expect_error "zero --point-timeout-ms" "at least 1"    --sweep "$scratch/ok.sweep" --point-timeout-ms 0
+expect_error "keep-going w/o sweep" "require --sweep"  --app qft --keep-going
+expect_error "max-errors w/o sweep" "require --sweep"  --app qft --max-errors 3
+
+# A bad sweep option diagnoses with the spec position, parse-time.
+echo '{"name": "x", "sweeps": [{"apps": "qft", "options": {"point_timeout_ms": 0}}]}' \
+    > "$scratch/badtimeout.sweep"
+expect_error "zero spec timeout" "at least 1"          --sweep "$scratch/badtimeout.sweep"
 
 # Unknown options print usage and exit 2 (argument error).
 "$EXPLORE" --frobnicate > /dev/null 2>&1
@@ -134,6 +145,58 @@ if [[ -s "$scratch/tiny.csv" ]]; then
     fi
 else
     echo "FAIL: tiny sweep produced no output to test resume with" >&2
+    failures=$((failures + 1))
+fi
+
+# --resume must verify recovered rows against the planned points: a
+# header-compatible CSV from a *different* sweep is refused, not merged.
+echo '{"name": "other", "sweeps": [{"apps": "qft", "capacity": [14, 18]}]}' \
+    > "$scratch/other.sweep"
+cp "$scratch/tiny.csv" "$scratch/mismatch.csv"
+expect_error "mismatched resume" "planned point" \
+    --sweep "$scratch/other.sweep" --out "$scratch/mismatch.csv" --resume
+
+# A checkpoint whose sidecar records failures only resumes under
+# --keep-going (the rerun must keep honoring the isolation contract).
+head -1 "$scratch/tiny.csv" > "$scratch/withfail.csv"
+printf 'index,application,topology,capacity,gate,reorder,outcome,error\n0,bv,linear:6,14,FM,GS,error,"x"\n' \
+    > "$scratch/withfail.csv.errors"
+expect_error "sidecar w/o keep-going" "keep-going" \
+    --sweep "$scratch/tiny.sweep" --out "$scratch/withfail.csv" --resume
+
+# A malformed QCCD_FAULT_INJECT spec must abort before main (exit 2):
+# a typo'd fault campaign silently testing nothing is itself a bug.
+QCCD_FAULT_INJECT="nosuchsite=1" "$EXPLORE" --list \
+    > /dev/null 2> "$scratch/stderr"
+if [[ $? -ne 2 ]] || ! grep -q "QCCD_FAULT_INJECT" "$scratch/stderr"; then
+    echo "FAIL: bad fault-inject spec should exit 2 with a diagnostic" >&2
+    failures=$((failures + 1))
+else
+    echo "ok: bad fault-inject spec exits 2"
+fi
+
+# --keep-going: an injected fault yields exit 3, one sidecar row, and
+# every other row still present; fault-free runs leave no sidecar.
+QCCD_FAULT_INJECT="toolflow.run=1" "$EXPLORE" --sweep "$scratch/tiny.sweep" \
+    --out "$scratch/kg.csv" --keep-going > /dev/null 2>&1
+status=$?
+rows=$(grep -vc '^application,' "$scratch/kg.csv" 2>/dev/null)
+sidecar_rows=$(grep -vc '^index,' "$scratch/kg.csv.errors" 2>/dev/null)
+if [[ $status -eq 3 && $rows -eq 1 && $sidecar_rows -eq 1 ]]; then
+    echo "ok: keep-going isolates an injected fault (exit 3)"
+else
+    echo "FAIL: keep-going fault run: exit $status, $rows rows," \
+         "$sidecar_rows sidecar rows (want 3/1/1)" >&2
+    failures=$((failures + 1))
+fi
+"$EXPLORE" --sweep "$scratch/tiny.sweep" --out "$scratch/kg.csv" \
+    --keep-going > /dev/null 2>&1
+status=$?
+if [[ $status -eq 0 && ! -e "$scratch/kg.csv.errors" ]]; then
+    echo "ok: fault-free keep-going exits 0 and clears the stale sidecar"
+else
+    echo "FAIL: fault-free keep-going: exit $status," \
+         "sidecar $([[ -e "$scratch/kg.csv.errors" ]] && echo present || echo absent)" >&2
     failures=$((failures + 1))
 fi
 

@@ -144,5 +144,45 @@ TEST(Export, WriteTextFileRoundTrips)
                  ConfigError);
 }
 
+TEST(Export, ReplaceTextFileAtomicLeavesNoTempBehind)
+{
+    const std::string path = ::testing::TempDir() + "/qccd_atomic.csv";
+    writeTextFile("old\n", path);
+    replaceTextFileAtomic("new\n", path);
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "new\n");
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    EXPECT_THROW(replaceTextFileAtomic("x", "/nonexistent/dir/f.csv"),
+                 ConfigError);
+}
+
+TEST(Export, ErrorRowQuotesArbitraryDiagnostics)
+{
+    SweepPoint point = smallSweep().front();
+    point.outcome = PointOutcome::Error;
+    point.error = "bad \"thing\",\nwith commas";
+    const std::string line = sweepErrorRow(42, point);
+    // One line per failure (newlines flattened), quotes doubled, and
+    // the leading columns identify the point and its absolute index.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.rfind("42,bv,linear:3,26,FM,GS,error,", 0), 0u);
+    EXPECT_NE(line.find("\"bad \"\"thing\"\", with commas\""),
+              std::string::npos);
+}
+
+TEST(Export, ErrorRowOutcomesUseTheTaxonomyNames)
+{
+    SweepPoint point = smallSweep().front();
+    point.outcome = PointOutcome::Timeout;
+    point.error = "late";
+    EXPECT_NE(sweepErrorRow(0, point).find(",timeout,"),
+              std::string::npos);
+    point.outcome = PointOutcome::Infeasible;
+    EXPECT_NE(sweepErrorRow(0, point).find(",infeasible,"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace qccd
