@@ -50,6 +50,21 @@ if "$EXPLORE" --build-info | grep -q 'checked-contracts=on'; then
     exit 1
 fi
 
+# Goldens also certify COLD output: a cache-hit run proves only that
+# the store replays what some earlier build computed, not that this
+# build computes it. The binary must advertise its cache schema (so a
+# layout change is visible here), and no committed spec may smuggle a
+# "cache" option into the golden runs below.
+if ! "$EXPLORE" --build-info | grep -q 'cache-schema='; then
+    echo "error: $EXPLORE --build-info does not report cache-schema" >&2
+    exit 1
+fi
+if grep -l '"cache"' "$SWEEP_DIR"/*.sweep 2> /dev/null; then
+    echo "error: committed sweep specs must not enable the result" >&2
+    echo "  cache — golden runs certify cold computation" >&2
+    exit 1
+fi
+
 shopt -s nullglob
 golden_files=("$GOLDEN_DIR"/*.csv)
 if [[ ${#golden_files[@]} -eq 0 ]]; then
@@ -96,6 +111,13 @@ for sweep in "$SWEEP_DIR"/*.sweep; do
         failures=$((failures + 1))
     fi
 done
+# Belt and braces for the cold-run rule: no spec run may have consulted
+# a result store (the CLI prints a "cache:" stats line whenever one is
+# open, so a hit-tainted golden run cannot pass silently).
+if grep -l '^cache:' "$scratch/spec"/*.log 2> /dev/null; then
+    echo "   GOLDEN spec run consulted a result cache" >&2
+    failures=$((failures + 1))
+fi
 for spec_csv in "$scratch/spec"/*.csv; do
     name=$(basename "$spec_csv" .csv)
     if [[ ! -f "$GOLDEN_DIR/$name.csv" ]]; then

@@ -203,10 +203,15 @@ faultSiteNames()
     // tests/test_faults.cpp arms each one against a workload chosen to
     // hit them all, so a listed-but-unreachable site fails the suite
     // (and a new site must be added here to be testable at all).
+    // The "cache." sites fire only in cache-enabled runs, so the
+    // campaign in test_faults skips them (like "export.row") and
+    // test_result_store arms them against a cached sweep instead.
     static const std::vector<std::string> names = {
         "engine.lower",   "engine.context", "toolflow.run",
         "scheduler.build_queues", "scheduler.pop", "scheduler.execute",
         "router.evict",   "shuttle.emit",   "export.row",
+        "cache.open",     "cache.lookup",   "cache.append",
+        "cache.commit",
     };
     return names;
 }

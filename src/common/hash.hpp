@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Stable content hashing for durable artifacts.
+ *
+ * The result store (core/result_store.hpp) keys cached rows on a hash
+ * that must be identical across processes, runs, compilers and
+ * platforms — std::hash guarantees none of that, so this header
+ * provides an explicit FNV-1a construction with a pinned byte order:
+ * every integer is folded little-endian, every double as its IEEE-754
+ * bit pattern, every string length-prefixed (so "ab","c" never
+ * collides with "a","bc"). Two independently seeded 64-bit lanes give
+ * a 128-bit digest; at the store's scale (~10^6 entries) accidental
+ * collision is negligible, and `--cache-verify` exists to audit even
+ * that.
+ */
+
+#ifndef QCCD_COMMON_HASH_HPP
+#define QCCD_COMMON_HASH_HPP
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qccd
+{
+
+/** FNV-1a 64-bit offset basis / prime (public domain constants). @{ */
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+/** @} */
+
+/**
+ * One-shot FNV-1a over @p len bytes starting from @p seed. Single-byte
+ * changes always change the result (xor then odd-prime multiply are
+ * both bijective), which is the property the store's per-record
+ * checksum needs.
+ */
+uint64_t fnv1a64(const void *data, size_t len,
+                 uint64_t seed = kFnvOffsetBasis);
+
+/** A 128-bit content digest (two independent 64-bit lanes). */
+struct Digest128
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    friend auto operator<=>(const Digest128 &, const Digest128 &) =
+        default;
+    friend bool operator==(const Digest128 &, const Digest128 &) =
+        default;
+
+    /** 32 lowercase hex digits (hi then lo), for diagnostics. */
+    std::string hex() const;
+};
+
+/**
+ * Streaming 128-bit hasher with a pinned serialization, so equal
+ * logical inputs produce equal digests on every platform.
+ *
+ * Feed typed values, never raw structs: padding bytes and field order
+ * would silently enter the key. The type-tagged helpers below each
+ * fold a one-byte tag before the value, so adjacent fields of
+ * different types cannot alias each other's encodings.
+ */
+class StableHash
+{
+  public:
+    StableHash() = default;
+
+    /** Raw bytes, no tag (building block for the typed helpers). */
+    void bytes(const void *data, size_t len);
+
+    /** Typed fields (tag byte + little-endian payload). @{ */
+    void u32(uint32_t value);
+    void u64(uint64_t value);
+    void i64(int64_t value);
+
+    /** Doubles fold as IEEE-754 bit patterns: bit-equal in, bit-equal
+     *  key out, matching the byte-identical goldens contract. */
+    void f64(double value);
+
+    /** Length-prefixed, so field boundaries are unambiguous. */
+    void str(const std::string &value);
+    /** @} */
+
+    Digest128 digest() const { return {hi_, lo_}; }
+
+  private:
+    // Distinct seeds decorrelate the lanes: FNV-1a folds the seed
+    // non-linearly, so a collision in one lane does not imply one in
+    // the other.
+    uint64_t hi_ = kFnvOffsetBasis;
+    uint64_t lo_ = kFnvOffsetBasis ^ 0x9e3779b97f4a7c15ULL;
+};
+
+} // namespace qccd
+
+#endif // QCCD_COMMON_HASH_HPP

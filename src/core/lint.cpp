@@ -19,6 +19,7 @@
 #include "compiler/mapping.hpp"
 #include "core/design_point.hpp"
 #include "core/export.hpp"
+#include "core/result_store.hpp"
 #include "core/sweep_spec.hpp"
 #include "models/gate_time.hpp"
 #include "models/params.hpp"
@@ -496,10 +497,16 @@ class SweepLinter
                     v.number < 1)
                     error("bad-option", v,
                           "\"point_timeout_ms\" must be at least 1");
+            } else if (key == "cache") {
+                if (expectKind(v, JsonValue::Kind::String,
+                               "\"cache\"") &&
+                    v.text.empty())
+                    error("bad-option", v,
+                          "\"cache\" must not be empty");
             } else {
                 error("unknown-option", v,
                       "unknown option \"" + key +
-                          "\" (known: decompose_runtime, "
+                          "\" (known: cache, decompose_runtime, "
                           "point_timeout_ms)");
             }
         }
@@ -818,6 +825,73 @@ lintGoldenText(const std::string &text, const std::string &origin,
         *rows_out = rows;
 }
 
+void
+lintCacheBytes(const std::string &bytes, const std::string &origin,
+               LintReport &report)
+{
+    ++report.filesChecked;
+    try {
+        const ResultStoreScan scan = scanResultStore(bytes);
+        if (!scan.magicOk && !scan.headerTorn) {
+            addDiag(report, LintSeverity::Error, "cache-magic", origin,
+                    0, 0, "not a qccd result cache (bad magic)");
+            return;
+        }
+        if (scan.headerTorn) {
+            addDiag(report, LintSeverity::Warning, "cache-torn", origin,
+                    0, 0,
+                    "truncated header (" +
+                        std::to_string(bytes.size()) + " of " +
+                        std::to_string(ResultStore::kHeaderSize) +
+                        " bytes; the store heals this on open)");
+            return;
+        }
+        if (!scan.versionOk) {
+            addDiag(report, LintSeverity::Error, "cache-version",
+                    origin, 0, 0,
+                    "schema version " + std::to_string(scan.version) +
+                        "; this build reads version " +
+                        std::to_string(ResultStore::kSchemaVersion) +
+                        " (the store refuses this file)");
+            return;
+        }
+        for (const ResultStoreDefect &defect : scan.defects)
+            addDiag(report, LintSeverity::Error,
+                    defect.reason == "frame" ? "cache-frame"
+                                             : "cache-checksum",
+                    origin, 0, 0,
+                    "corrupt record at offset " +
+                        std::to_string(defect.offset) + " (" +
+                        std::to_string(defect.length) + " bytes, " +
+                        defect.reason +
+                        "; the store quarantines this on open)");
+        if (scan.truncatedTail)
+            addDiag(report, LintSeverity::Warning, "cache-torn", origin,
+                    0, 0,
+                    "incomplete final record at offset " +
+                        std::to_string(scan.tornTailOffset) +
+                        " (torn append; the store heals this on open)");
+        // A structurally valid payload can still decode to nothing if
+        // the schema drifts; surface that rather than claim clean.
+        for (const ScannedResultRecord &record : scan.records) {
+            Digest128 key;
+            RunResult result;
+            if (!ResultStore::decodeRecordPayload(record.payload, &key,
+                                                  &result))
+                addDiag(report, LintSeverity::Error, "cache-decode",
+                        origin, 0, 0,
+                        "record at offset " +
+                            std::to_string(record.offset) +
+                            " does not decode as a version-" +
+                            std::to_string(ResultStore::kSchemaVersion) +
+                            " payload");
+        }
+    } catch (const std::exception &err) {
+        addDiag(report, LintSeverity::Error, "internal", origin, 0, 0,
+                std::string("linter failure: ") + err.what());
+    }
+}
+
 namespace
 {
 
@@ -868,6 +942,7 @@ lintArtifacts(const std::vector<std::string> &paths)
     std::vector<std::string> sweeps;
     std::vector<std::string> topos;
     std::vector<std::string> csvs;
+    std::vector<std::string> caches;
 
     const auto classify = [&](const std::string &path) {
         if (path.size() >= 6 &&
@@ -879,11 +954,14 @@ lintArtifacts(const std::vector<std::string> &paths)
         else if (path.size() >= 4 &&
                  path.compare(path.size() - 4, 4, ".csv") == 0)
             csvs.push_back(path);
+        else if (path.size() >= 7 &&
+                 path.compare(path.size() - 7, 7, ".qcache") == 0)
+            caches.push_back(path);
         else
             addDiag(report, LintSeverity::Warning, "skipped", path, 0,
                     0,
-                    "not a lintable artifact (expected .sweep, .topo "
-                    "or .csv)");
+                    "not a lintable artifact (expected .sweep, .topo, "
+                    ".csv or .qcache)");
     };
 
     for (const std::string &arg : paths) {
@@ -908,7 +986,9 @@ lintArtifacts(const std::vector<std::string> &paths)
                     (path.size() >= 5 &&
                      path.compare(path.size() - 5, 5, ".topo") == 0) ||
                     (path.size() >= 4 &&
-                     path.compare(path.size() - 4, 4, ".csv") == 0))
+                     path.compare(path.size() - 4, 4, ".csv") == 0) ||
+                    (path.size() >= 7 &&
+                     path.compare(path.size() - 7, 7, ".qcache") == 0))
                     found.push_back(path);
             }
             // Deterministic order regardless of directory enumeration.
@@ -932,6 +1012,10 @@ lintArtifacts(const std::vector<std::string> &paths)
     for (const std::string &path : topos)
         if (const auto text = slurp(path, report))
             lintTopoText(*text, path, report);
+
+    for (const std::string &path : caches)
+        if (const auto text = slurp(path, report))
+            lintCacheBytes(*text, path, report);
 
     std::map<std::string, std::pair<std::string, size_t>> goldenRows;
     for (const std::string &path : csvs) {

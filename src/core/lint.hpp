@@ -29,6 +29,11 @@
  *    warning].
  *  - `.topo`: the loader's full syntax and graph validation, reported
  *    as diagnostics instead of exceptions [topo-parse, topo-graph].
+ *  - `.qcache` result stores (core/result_store.hpp): magic
+ *    [cache-magic], schema version [cache-version], record framing
+ *    [cache-frame], checksums [cache-checksum], payload decode
+ *    [cache-decode], with healable torn tails as warnings
+ *    [cache-torn].
  *  - golden CSVs: header drift against sweepCsvHeader()
  *    [golden-header], truncated/empty files [golden-empty], rows with
  *    the wrong column count [golden-columns], non-numeric metric
@@ -131,11 +136,17 @@ void lintTopoText(const std::string &text, const std::string &origin,
 void lintGoldenText(const std::string &text, const std::string &origin,
                     LintReport &report, size_t *rows_out = nullptr);
 
+/** Lint raw `.qcache` result-store bytes (never throws): the static
+ *  half of ResultStore's open-time recovery, reported as diagnostics
+ *  instead of quarantine/heal actions. */
+void lintCacheBytes(const std::string &bytes, const std::string &origin,
+                    LintReport &report);
+
 /**
  * Lint files and directory trees.
  *
- * Directories are walked recursively; `.sweep`, `.topo` and `.csv`
- * files are linted by kind, other files are ignored. When the
+ * Directories are walked recursively; `.sweep`, `.topo`, `.csv` and
+ * `.qcache` files are linted by kind, other files are ignored. When the
  * argument set contains both specs and CSVs, the cross-artifact
  * coverage and row-count checks run over the whole set. An unreadable
  * or nonexistent path is itself a diagnostic, not an exception.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "arch/builders.hpp"
@@ -12,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "compiler/mapping.hpp"
+#include "core/result_store.hpp"
 #include "core/sweep_engine.hpp"
 
 namespace qccd
@@ -234,9 +237,18 @@ class SpecBuilder
                     parser_.failAt(v, "\"point_timeout_ms\" must be "
                                       "at least 1");
                 options.pointTimeoutMs = ms;
+            } else if (key == "cache") {
+                expect(v, JsonValue::Kind::String, "\"cache\"");
+                if (v.text.empty())
+                    parser_.failAt(v, "\"cache\" must not be empty");
+                std::string path = v.text;
+                if (path[0] != '/' && !baseDir_.empty())
+                    path = baseDir_ + "/" + path;
+                options.cachePath = path;
             } else {
                 parser_.failAt(v, "unknown option \"" + key +
-                                      "\" (known: decompose_runtime, "
+                                      "\" (known: cache, "
+                                      "decompose_runtime, "
                                       "point_timeout_ms)");
             }
         }
@@ -411,6 +423,17 @@ SweepSpecRunner::circuitFor(const PlannedPoint &point)
     return it->second;
 }
 
+Digest128
+SweepSpecRunner::circuitDigestFor(const Circuit &native)
+{
+    const auto it = digestCache_.find(&native);
+    if (it != digestCache_.end())
+        return it->second;
+    const Digest128 digest = ResultStore::circuitDigest(native);
+    digestCache_.emplace(&native, digest);
+    return digest;
+}
+
 SweepRunStats
 SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
                      const std::function<void(const SweepPoint &)> &emit,
@@ -421,6 +444,31 @@ SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
     const FailurePolicy engine_policy = policy.keepGoing
                                             ? FailurePolicy::Isolate
                                             : FailurePolicy::Rethrow;
+
+    // The cache degrades, never sinks: any store failure mid-run
+    // (I/O error, injected cache.* fault) drops it for the rest of
+    // the run with one warning, and every point is evaluated cold —
+    // the acceptance contract is identical bytes either way.
+    ResultStore *cache = policy.cache;
+    const auto disableCache = [&cache](const char *what,
+                                       const std::exception &err) {
+        std::fprintf(stderr,
+                     "warning: result cache disabled (%s: %s); "
+                     "continuing without it\n",
+                     what, err.what());
+        cache = nullptr;
+    };
+
+    // Per-batch-position cache state: the key (when computable), and
+    // under cacheVerify the stored result a recomputation must match.
+    struct CacheSlot
+    {
+        bool haveKey = false;
+        bool verifyHit = false;
+        Digest128 key;
+        RunResult cached;
+    };
+
     for (size_t start = skip; start < points.size();
          start += batch_size) {
         const size_t end =
@@ -430,10 +478,13 @@ SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
         // file, parse error, fault injection in the lowering path)
         // becomes a prefailed point of this batch rather than sinking
         // the whole shard; `slot` maps batch positions to engine jobs.
+        // Cache hits resolve the same way: a filled `resolved` row
+        // and no engine job.
         const size_t none = static_cast<size_t>(-1);
         std::vector<SweepJob> jobs;
         std::vector<size_t> slot(end - start, none);
-        std::vector<SweepPoint> prefailed(end - start);
+        std::vector<SweepPoint> resolved(end - start);
+        std::vector<CacheSlot> cslot(end - start);
         jobs.reserve(end - start);
         for (size_t i = start; i < end; ++i) {
             const PlannedPoint &point = points[i];
@@ -445,7 +496,7 @@ SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
                 try {
                     job.native = circuitFor(point);
                 } catch (...) {
-                    SweepPoint &failed = prefailed[i - start];
+                    SweepPoint &failed = resolved[i - start];
                     failed.application = point.application;
                     failed.design = point.design;
                     failed.outcome = classifyFailure(
@@ -454,6 +505,40 @@ SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
                 }
             } else {
                 job.native = circuitFor(point);
+            }
+
+            if (cache != nullptr) {
+                CacheSlot &cs = cslot[i - start];
+                try {
+                    cs.key = ResultStore::keyFor(
+                        point.design, point.options,
+                        circuitDigestFor(*job.native));
+                    cs.haveKey = true;
+                } catch (const QccdError &) {
+                    // Unkeyable (e.g. unreadable "topo:" file): run
+                    // it cold and let evaluation report the problem.
+                }
+                if (cs.haveKey) {
+                    try {
+                        const std::optional<RunResult> found =
+                            cache->lookup(cs.key);
+                        if (found.has_value()) {
+                            ++stats.cacheHits;
+                            if (policy.cacheVerify) {
+                                cs.verifyHit = true;
+                                cs.cached = *found;
+                            } else {
+                                SweepPoint &hit = resolved[i - start];
+                                hit.application = point.application;
+                                hit.design = point.design;
+                                hit.result = *found;
+                                continue; // no engine job needed
+                            }
+                        }
+                    } catch (const std::exception &err) {
+                        disableCache("lookup failed", err);
+                    }
+                }
             }
             slot[i - start] = jobs.size();
             jobs.push_back(std::move(job));
@@ -464,7 +549,36 @@ SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
         for (size_t i = start; i < end; ++i) {
             const size_t s = slot[i - start];
             const SweepPoint &result =
-                s == none ? prefailed[i - start] : results[s];
+                s == none ? resolved[i - start] : results[s];
+            const CacheSlot &cs = cslot[i - start];
+            if (s != none && cache != nullptr && cs.haveKey &&
+                result.ok()) {
+                if (cs.verifyHit) {
+                    if (ResultStore::encodeRecordPayload(cs.key,
+                                                         cs.cached) !=
+                        ResultStore::encodeRecordPayload(
+                            cs.key, result.result)) {
+                        ++stats.cacheDivergent;
+                        std::fprintf(
+                            stderr,
+                            "error: result cache divergence at point "
+                            "'%s' (key %s): stored record differs "
+                            "from recomputation\n",
+                            result.application.c_str(),
+                            cs.key.hex().c_str());
+                    }
+                } else {
+                    // Insert before emitting the row: a kill between
+                    // the two leaves the store ahead of the CSV, and
+                    // the resumed run re-hits instead of re-appending
+                    // — warm store bytes stay deterministic.
+                    try {
+                        cache->insert(cs.key, result.result);
+                    } catch (const std::exception &err) {
+                        disableCache("append failed", err);
+                    }
+                }
+            }
             ++stats.evaluated;
             if (!result.ok())
                 ++stats.failed;

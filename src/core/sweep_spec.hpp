@@ -52,11 +52,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "core/sweep.hpp"
 
 namespace qccd
 {
 
+class ResultStore;
 class SweepEngine;
 
 /** One expanded grid point, ready to be evaluated. */
@@ -141,6 +143,24 @@ struct SweepRunPolicy
     /** Under keepGoing, stop evaluating once this many points have
      *  failed and at least one point remains (0 = unlimited). */
     size_t maxErrors = 0;
+
+    /**
+     * Persistent result store consulted before evaluating each point
+     * and fed every Ok result (nullptr = no caching). Cache-hit rows
+     * are byte-identical to recomputed ones; any cache failure mid-run
+     * (I/O error, injected fault) disables the cache with a warning
+     * and the sweep continues cold — the cache can slow a run down,
+     * never change or sink it.
+     */
+    ResultStore *cache = nullptr;
+
+    /**
+     * Audit mode: hits are recomputed anyway and compared bit-exactly
+     * against the cached record; divergences are counted in
+     * SweepRunStats::cacheDivergent (the emitted row is always the
+     * recomputed one). Misses still warm the cache.
+     */
+    bool cacheVerify = false;
 };
 
 /** What a SweepSpecRunner::run call did. */
@@ -154,6 +174,13 @@ struct SweepRunStats
 
     /** True when maxErrors tripped with points still unevaluated. */
     bool aborted = false;
+
+    /** Points answered from the result store without evaluation. */
+    size_t cacheHits = 0;
+
+    /** Under cacheVerify: hits whose recomputation disagreed with the
+     *  stored record (any nonzero count is a defect report). */
+    size_t cacheDivergent = 0;
 };
 
 /**
@@ -203,8 +230,13 @@ class SweepSpecRunner
   private:
     std::shared_ptr<const Circuit> circuitFor(const PlannedPoint &point);
 
+    /** Content digest of @p native, memoized per circuit object (the
+     *  runner's circuits are shared, so identity implies content). */
+    Digest128 circuitDigestFor(const Circuit &native);
+
     SweepEngine &engine_;
     std::map<std::string, std::shared_ptr<const Circuit>> qasmCache_;
+    std::map<const Circuit *, Digest128> digestCache_;
 };
 
 } // namespace qccd

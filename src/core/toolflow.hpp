@@ -83,6 +83,16 @@ struct RunOptions
      * "point_timeout_ms" option.
      */
     long pointTimeoutMs = 0;
+
+    /**
+     * Persistent result cache file (core/result_store.hpp) this
+     * point's spec asked for; empty = no cache. Carried here so the
+     * spec's "cache" option rides the same plumbing as its other
+     * options — it never enters the cache key (a cache cannot depend
+     * on its own location) and runToolflow itself ignores it: the
+     * sweep layer owns the store.
+     */
+    std::string cachePath;
 };
 
 /**

@@ -10,6 +10,7 @@
  *   qccd_explore --sweep FILE [--out FILE] [--format csv|json]
  *                [--shard I/N] [--resume] [--jobs N] [--keep-going]
  *                [--max-errors N] [--point-timeout-ms N]
+ *                [--cache FILE] [--cache-verify]
  *
  * Exit codes: 0 success, 1 error, 2 usage, 3 sweep completed but at
  * least one point failed (--keep-going; see README "Failure
@@ -25,6 +26,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,7 @@
 #include "core/export.hpp"
 #include "core/recommend.hpp"
 #include "core/report.hpp"
+#include "core/result_store.hpp"
 #include "core/resume.hpp"
 #include "core/sweep_engine.hpp"
 #include "core/sweep_spec.hpp"
@@ -94,7 +97,14 @@ printUsage()
         "  --point-timeout-ms N\n"
         "                    per-point watchdog deadline; a point that\n"
         "                    exceeds it fails with outcome 'timeout'\n"
-        "                    (overrides the spec's point_timeout_ms)\n";
+        "                    (overrides the spec's point_timeout_ms)\n"
+        "  --cache FILE      persistent result store: points already\n"
+        "                    in it are answered without re-simulating,\n"
+        "                    new results are appended (byte-identical\n"
+        "                    output either way; overrides the spec's\n"
+        "                    \"cache\" option — see README)\n"
+        "  --cache-verify    audit the cache: recompute every hit and\n"
+        "                    report divergence (exit 1 if any)\n";
 }
 
 /** Everything --sweep mode needs beyond the shared engine knobs. */
@@ -108,6 +118,8 @@ struct SweepCliOptions
     int maxErrors = 0;       // 0: unlimited
     int pointTimeoutMs = 0;  // 0: no override
     int jobs = 0;
+    std::string cachePath;   // empty: spec option, then no cache
+    bool cacheVerify = false;
 };
 
 int
@@ -153,6 +165,44 @@ runSweepMode(const std::string &sweep_file, SweepCliOptions cli)
     if (cli.pointTimeoutMs > 0)
         for (PlannedPoint &point : slice)
             point.options.pointTimeoutMs = cli.pointTimeoutMs;
+
+    // Resolve the result store: --cache wins over the spec's "cache"
+    // option; grids declaring different stores for one run is a
+    // contradiction we refuse rather than guess about.
+    std::string cache_path = cli.cachePath;
+    if (cache_path.empty()) {
+        for (const PlannedPoint &point : slice) {
+            if (point.options.cachePath.empty())
+                continue;
+            fatalUnless(cache_path.empty() ||
+                            cache_path == point.options.cachePath,
+                        "sweep spec declares conflicting cache paths "
+                        "('" + cache_path + "' vs '" +
+                            point.options.cachePath +
+                            "'); use one, or override with --cache");
+            cache_path = point.options.cachePath;
+        }
+    }
+    fatalUnless(!cli.cacheVerify || !cache_path.empty(),
+                "--cache-verify requires a result store (--cache FILE "
+                "or the spec's \"cache\" option)");
+
+    // Refusals (wrong magic, version skew, live lock owner) are
+    // ConfigErrors and abort the run; anything else — an I/O failure
+    // or an injected cache.open fault — degrades to a cold run, which
+    // by contract produces the same bytes.
+    std::unique_ptr<ResultStore> store;
+    if (!cache_path.empty()) {
+        try {
+            store = std::make_unique<ResultStore>(cache_path);
+        } catch (const ConfigError &) {
+            throw;
+        } catch (const std::exception &err) {
+            std::cerr << "warning: result cache disabled (open "
+                         "failed: "
+                      << err.what() << "); continuing without it\n";
+        }
+    }
 
     // Shard 0 owns the header so that concatenating shard files in
     // index order reproduces the unsharded export byte-for-byte.
@@ -226,6 +276,8 @@ runSweepMode(const std::string &sweep_file, SweepCliOptions cli)
     SweepRunPolicy policy;
     policy.keepGoing = cli.keepGoing;
     policy.maxErrors = static_cast<size_t>(cli.maxErrors);
+    policy.cache = store.get();
+    policy.cacheVerify = cli.cacheVerify;
     size_t next_index = first + done;
     const SweepRunStats stats =
         runner.run(slice, done,
@@ -238,6 +290,29 @@ runSweepMode(const std::string &sweep_file, SweepCliOptions cli)
                    },
                    policy);
     writer.finish();
+
+    if (store != nullptr) {
+        // One greppable provenance line per cached run ("^cache:"):
+        // check_golden.sh uses it to refuse blessing goldens from a
+        // warm run, and the CI cache job asserts hit/miss counts.
+        const ResultStoreStats &cs = store->stats();
+        std::cout << "cache: " << store->path() << " hits=" << cs.hits
+                  << " misses=" << cs.misses
+                  << " inserts=" << cs.inserts
+                  << " loaded=" << cs.loaded
+                  << " quarantined=" << cs.quarantined
+                  << " healed=" << (cs.healedTail ? 1 : 0);
+        if (cli.cacheVerify)
+            std::cout << " divergent=" << stats.cacheDivergent;
+        std::cout << "\n";
+    }
+    if (stats.cacheDivergent > 0) {
+        std::cerr << "error: result cache '" << cache_path << "' has "
+                  << stats.cacheDivergent
+                  << " divergent record(s); the emitted rows are the "
+                     "recomputed ones — rebuild the cache file\n";
+        return 1;
+    }
 
     if (stats.aborted) {
         std::cerr << "error: stopping after " << stats.failed
@@ -307,9 +382,14 @@ main(int argc, char **argv)
                 // refuses to bless goldens from a checked build: the
                 // contract layer must be provably compiled out of any
                 // binary whose output is compared byte-for-byte.
+                // The cache schema line lets scripts prove which
+                // result-store format a binary speaks before trusting
+                // its warm runs.
                 std::cout << "checked-contracts="
                           << (checkedBuildEnabled() ? "on" : "off")
-                          << "\n";
+                          << "\n"
+                          << "cache-schema="
+                          << ResultStore::kSchemaVersion << "\n";
                 return 0;
             } else if (arg == "--list") {
                 for (const BenchmarkSpec &spec : benchmarkList())
@@ -384,6 +464,12 @@ main(int argc, char **argv)
                 sweep_cli.pointTimeoutMs = intValue();
                 fatalUnless(sweep_cli.pointTimeoutMs >= 1,
                             "--point-timeout-ms must be at least 1");
+            } else if (arg == "--cache") {
+                sweep_cli.cachePath = value();
+                fatalUnless(!sweep_cli.cachePath.empty(),
+                            "--cache needs a file path");
+            } else if (arg == "--cache-verify") {
+                sweep_cli.cacheVerify = true;
             } else if (arg == "--decompose") {
                 options.decomposeRuntime = true;
             } else if (arg == "--trace") {
@@ -405,9 +491,12 @@ main(int argc, char **argv)
                         sweep_cli.formatName.empty() &&
                         sweep_cli.shardText.empty() &&
                         !sweep_cli.resume && !sweep_cli.keepGoing &&
-                        sweep_cli.maxErrors == 0,
+                        sweep_cli.maxErrors == 0 &&
+                        sweep_cli.cachePath.empty() &&
+                        !sweep_cli.cacheVerify,
                     "--out/--format/--shard/--resume/--keep-going/"
-                    "--max-errors require --sweep");
+                    "--max-errors/--cache/--cache-verify require "
+                    "--sweep");
 
         // The watchdog also guards single-point runs: a hung schedule
         // becomes a clean TimeoutError instead of a stuck process.

@@ -5,8 +5,9 @@
  * Usage:
  *     qccd_lint [--quiet] PATH...
  *
- * Each PATH is a `.sweep` spec, `.topo` device file, golden `.csv`, or
- * a directory walked recursively for all three. Diagnostics print to
+ * Each PATH is a `.sweep` spec, `.topo` device file, golden `.csv`,
+ * `.qcache` result store, or a directory walked recursively for all
+ * four. Diagnostics print to
  * stdout as "origin:line:col: severity: message [code]". When the
  * argument set covers both specs and goldens (e.g. `qccd_lint
  * examples/ golden/`), cross-artifact coverage and row-count checks
@@ -30,8 +31,9 @@ int
 usage(std::ostream &out, int code)
 {
     out << "usage: qccd_lint [--quiet] PATH...\n"
-        << "  PATH  a .sweep spec, .topo device file, golden .csv, or\n"
-        << "        a directory searched recursively for all three\n"
+        << "  PATH  a .sweep spec, .topo device file, golden .csv,\n"
+        << "        .qcache result store, or a directory searched\n"
+        << "        recursively for all four\n"
         << "  --quiet  print only the summary line\n"
         << "exit: 0 clean (warnings allowed), 1 errors, 2 usage\n";
     return code;

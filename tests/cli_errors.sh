@@ -213,6 +213,38 @@ else
     failures=$((failures + 1))
 fi
 
+# Result cache (--cache / --cache-verify): misuse and the refusing
+# corruption classes are one-line diagnostics. (Healing classes — torn
+# tails, checksum failures — are covered by test_result_store; here the
+# contract is that refusal never looks like success.)
+expect_error "cache w/o sweep" "require --sweep" \
+    --app qft --cache "$scratch/x.qcache"
+expect_error "verify w/o cache" "requires a result store" \
+    --sweep "$scratch/tiny.sweep" --out "$scratch/cv.csv" --cache-verify
+printf 'definitely not a result cache\n' > "$scratch/foreign.qcache"
+expect_error "foreign cache file" "not a qccd result cache" \
+    --sweep "$scratch/tiny.sweep" --out "$scratch/c1.csv" \
+    --cache "$scratch/foreign.qcache"
+(cd "$scratch" && "$EXPLORE" --sweep tiny.sweep --out warm.csv \
+    --cache warm.qcache > /dev/null 2>&1)
+printf '\x02' | dd of="$scratch/warm.qcache" bs=1 seek=8 conv=notrunc \
+    2> /dev/null
+expect_error "version-skewed cache" "schema version" \
+    --sweep "$scratch/tiny.sweep" --out "$scratch/c2.csv" \
+    --cache "$scratch/warm.qcache"
+printf '%s\n' "$$" > "$scratch/held.qcache.lock"
+expect_error "cache locked by live pid" "locked by running process" \
+    --sweep "$scratch/tiny.sweep" --out "$scratch/c3.csv" \
+    --cache "$scratch/held.qcache"
+cat > "$scratch/conflict.sweep" <<'EOF'
+{"name": "conflict", "sweeps": [
+  {"apps": "bv", "options": {"cache": "a.qcache"}},
+  {"apps": "bv", "options": {"cache": "b.qcache"}}
+]}
+EOF
+expect_error "conflicting spec caches" "conflicting cache paths" \
+    --sweep "$scratch/conflict.sweep" --out "$scratch/c4.csv"
+
 # qccd_lint: usage errors exit 2 with one-line stderr; findings exit 1
 # with diagnostics on stdout; a clean tree exits 0. Bad artifacts must
 # produce diagnostics, never a crash.

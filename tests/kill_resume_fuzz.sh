@@ -3,8 +3,10 @@
 # moments, resume it, repeat — the final CSV must be byte-identical to
 # an uninterrupted run. Exercises flushed line appends, torn-line
 # healing, and planned-point validation end to end through the real
-# binary. Registered with CTest by tests/CMakeLists.txt; $1 is the
-# qccd_explore binary.
+# binary. A cache-enabled variant holds the result store to the same
+# bar: after the kill storm, both the CSV *and* the healed store must
+# match their uninterrupted twins byte for byte. Registered with CTest
+# by tests/CMakeLists.txt; $1 is the qccd_explore binary.
 set -u
 
 EXPLORE=${1:?usage: kill_resume_fuzz.sh /path/to/qccd_explore}
@@ -76,6 +78,59 @@ if cat shard0.csv shard1.csv | cmp -s - clean.csv; then
     echo "ok: killed+resumed shard concatenates byte-identically"
 else
     echo "FAIL: sharded kill/resume diverges from the clean run" >&2
+    failures=$((failures + 1))
+fi
+
+# Cache-enabled variant: the same kill storm with a persistent result
+# store in play. The store is append-only with first-wins dedup and
+# torn-tail healing, so the killed-and-resumed store must converge to
+# the exact bytes an uninterrupted cold run writes — any divergence
+# means a replayed point re-appended or a heal lost a record.
+"$EXPLORE" --sweep fuzz.sweep --out cacheref.csv --cache ref.qcache \
+    > /dev/null 2>&1
+if ! cmp -s clean.csv cacheref.csv; then
+    echo "FAIL: cold cached run differs from the cacheless run" >&2
+    failures=$((failures + 1))
+fi
+rm -f cout.csv cout.csv.errors
+for attempt in $(seq 1 20); do
+    "$EXPLORE" --sweep fuzz.sweep --out cout.csv --cache fuzz.qcache \
+        --resume > /dev/null 2>&1 &
+    pid=$!
+    # A kill can land mid CSV row, mid store append, or between the
+    # two; dead-pid lock takeover happens on every resume.
+    sleep "0.0$((RANDOM % 8))"
+    kill -KILL "$pid" 2> /dev/null
+    wait "$pid" 2> /dev/null
+done
+"$EXPLORE" --sweep fuzz.sweep --out cout.csv --cache fuzz.qcache \
+    --resume > /dev/null 2>&1
+status=$?
+if [[ $status -ne 0 ]]; then
+    echo "FAIL: cached final resume exited $status" >&2
+    failures=$((failures + 1))
+elif ! cmp -s clean.csv cout.csv; then
+    echo "FAIL: cached kill/resume CSV differs from the clean run" >&2
+    failures=$((failures + 1))
+elif ! cmp -s ref.qcache fuzz.qcache; then
+    echo "FAIL: killed+resumed store differs byte-wise from an" \
+         "uninterrupted one" >&2
+    failures=$((failures + 1))
+elif [[ -e fuzz.qcache.lock ]]; then
+    echo "FAIL: cached fuzz left a stale lock behind" >&2
+    failures=$((failures + 1))
+else
+    echo "ok: cached kill/resume: CSV and store both byte-identical"
+fi
+
+# The surviving store must answer the whole sweep warm and unchanged.
+"$EXPLORE" --sweep fuzz.sweep --out warm.csv --cache fuzz.qcache \
+    > warmstats.txt 2>&1
+if cmp -s clean.csv warm.csv \
+    && grep -q 'hits=6 misses=0 inserts=0' warmstats.txt; then
+    echo "ok: warm store answers the full sweep byte-identically"
+else
+    echo "FAIL: warm rerun from the fuzzed store diverges" >&2
     failures=$((failures + 1))
 fi
 
