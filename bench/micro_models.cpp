@@ -231,4 +231,58 @@ BM_SweepEngineBatch(benchmark::State &state)
 BENCHMARK(BM_SweepEngineBatch)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void
+BM_SweepDelta(benchmark::State &state)
+{
+    // The staged toolflow's delta-evaluation win, on the shape of
+    // examples/sweeps/sensitivity_fidelity.sweep: 2 apps x 2 gate
+    // implementations x 5 co-varied model-knob sets = 20 points but
+    // only 4 distinct schedule keys. A serial engine must schedule
+    // once per key and replay the rest; the counters (exported to
+    // BENCH_SUMMARY.json by scripts/run_benches.sh) pin the >= 2x
+    // fewer-full-schedules acceptance target.
+    struct Knobs
+    {
+        double gamma;
+        double kappa;
+    };
+    const Knobs knobs[] = {{0.5, 2.5e-6},
+                           {1.0, 5e-6},
+                           {2.0, 1e-5},
+                           {5.0, 2.5e-5},
+                           {10.0, 5e-5}};
+    std::vector<SweepJob> jobs;
+    SweepEngine seed(1);
+    for (const char *app : {"qft", "supremacy"}) {
+        const auto native = seed.nativeBenchmark(app);
+        for (GateImpl gate : {GateImpl::FM, GateImpl::AM1}) {
+            for (const Knobs &k : knobs) {
+                SweepJob job;
+                job.application = app;
+                job.native = native;
+                job.design = DesignPoint::linear(6, 22, gate);
+                job.design.hw.gammaPerS = k.gamma;
+                job.design.hw.kappa = k.kappa;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+
+    size_t points = 0;
+    size_t full = 0;
+    size_t replays = 0;
+    for (auto _ : state) {
+        SweepEngine engine(1);
+        const auto results = engine.run(jobs);
+        benchmark::DoNotOptimize(results.size());
+        points += results.size();
+        full += engine.deltaStats().fullSchedules;
+        replays += engine.deltaStats().replays;
+    }
+    state.counters["points"] = static_cast<double>(points);
+    state.counters["full_schedules"] = static_cast<double>(full);
+    state.counters["replays"] = static_cast<double>(replays);
+}
+BENCHMARK(BM_SweepDelta)->Unit(benchmark::kMillisecond);
+
 } // namespace

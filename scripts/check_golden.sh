@@ -6,8 +6,10 @@
 #   2. the declarative sweep specs (qccd_explore --sweep
 #      examples/sweeps/<spec>.sweep writes <spec name>.csv),
 #
-# plus one sharded spec run whose concatenated outputs must reproduce
-# the unsharded file byte-for-byte. Any diff means a change altered the
+# plus sharded spec runs whose concatenated outputs must reproduce the
+# unsharded files byte-for-byte, and a cold+warm result-cache pass over
+# the sensitivity sweep (the staged toolflow's replay-heavy best case).
+# Any diff means a change altered the
 # simulator's arithmetic or the export format — intended metric changes
 # must regenerate the golden files in the same commit. Every golden CSV
 # must be covered by at least one path; spec-only scenarios (e.g. the
@@ -168,6 +170,29 @@ if (cd "$scratch/shard_topo" &&
     echo "   shard union matches golden"
 else
     echo "   SHARD UNION DIFFERS from golden/topology_families.csv" >&2
+    failures=$((failures + 1))
+fi
+
+# --- Warm-cache run through the staged path -------------------------
+# The model-knob-only sensitivity sweep is the staged toolflow's best
+# case (one schedule per gate/app group, every other point replayed)
+# AND the result store's: cold with --cache, then warm from the same
+# store, must both be byte-identical to the golden. This certifies
+# replayed rows round-trip through the .qcache format unchanged.
+echo "== sweep sensitivity_fidelity.sweep, cold + warm cache =="
+mkdir -p "$scratch/warm"
+if (cd "$scratch/warm" &&
+        "$EXPLORE" --sweep "$SWEEP_DIR/sensitivity_fidelity.sweep" \
+            --out cold.csv --cache warm.qcache > cold.log 2>&1 &&
+        "$EXPLORE" --sweep "$SWEEP_DIR/sensitivity_fidelity.sweep" \
+            --out warm.csv --cache warm.qcache > warm.log 2>&1 &&
+        cmp -s cold.csv "$GOLDEN_DIR/sensitivity_fidelity.csv" &&
+        cmp -s warm.csv "$GOLDEN_DIR/sensitivity_fidelity.csv" &&
+        grep -q '^staged: ' cold.log &&
+        grep -q 'hits=20' warm.log); then
+    echo "   cold and warm cache runs match golden"
+else
+    echo "   WARM-CACHE RUN DIFFERS from golden/sensitivity_fidelity.csv" >&2
     failures=$((failures + 1))
 fi
 

@@ -148,12 +148,36 @@ if [[ -f "$OUT_DIR/BENCH_micro_models.json" ]]; then
     [[ -n "$extracted" ]] && toolflow_point_us=$extracted
 fi
 
+# Staged-evaluation delta counters from BM_SweepDelta: points evaluated
+# vs. full schedules actually run on a model-knob-heavy sweep shape
+# (the >= 2x fewer-full-schedules acceptance metric). "null" when
+# micro_models was not built or not run.
+sweep_delta_points=null
+sweep_delta_full_schedules=null
+sweep_delta_replays=null
+if [[ -f "$OUT_DIR/BENCH_micro_models.json" ]]; then
+    extract_counter() {
+        awk -v key="\"$1\"" '
+            /"name": "BM_SweepDelta"/ { found = 1 }
+            found && $1 == key ":" {
+                gsub(/,/, ""); printf "%.0f", $2; exit
+            }' "$OUT_DIR/BENCH_micro_models.json"
+    }
+    for counter in points full_schedules replays; do
+        extracted=$(extract_counter "$counter")
+        [[ -n "$extracted" ]] && eval "sweep_delta_$counter=$extracted"
+    done
+fi
+
 # One aggregate record so the per-bench wall-time trajectory can be
 # diffed across PRs without opening every BENCH_*.json.
 {
     echo "{"
     echo "  \"jobs\": $jobs,"
     echo "  \"toolflow_point_us\": $toolflow_point_us,"
+    echo "  \"sweep_delta_points\": $sweep_delta_points,"
+    echo "  \"sweep_delta_full_schedules\": $sweep_delta_full_schedules,"
+    echo "  \"sweep_delta_replays\": $sweep_delta_replays,"
     echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
     echo "  \"benches\": ["
     sep=""

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "sim/model_replay.hpp"
 
 namespace qccd
 {
@@ -26,13 +27,17 @@ maxTrapCapacity(const Topology &topo)
 PrimitiveEmitter::PrimitiveEmitter(DeviceState &state,
                                    const HardwareParams &hw,
                                    SimResult &result, Trace *trace,
-                                   bool zero_comm_times)
+                                   bool zero_comm_times,
+                                   ModelEvalLog *model_log)
     : state_(state), hw_(hw),
       tables_(ModelTables::shared(hw,
                                   maxTrapCapacity(state.topology()) + 1)),
       heating_(hw.heatingModel()), result_(result), trace_(trace),
-      zeroComm_(zero_comm_times), qubitReady_(state.numIons(), 0)
+      zeroComm_(zero_comm_times), log_(model_log),
+      qubitReady_(state.numIons(), 0)
 {
+    if (log_ != nullptr)
+        log_->setMaxChain(tables_->maxChain());
 }
 
 void
@@ -92,6 +97,8 @@ PrimitiveEmitter::emitMs(QubitId qa, QubitId qb, TimeUs ready,
     const double fid = err.fidelity();
     const double log_fid = std::log(std::max(fid, kMinFidelity));
 
+    if (log_ != nullptr)
+        log_->noteMs(t, chain_len, phys_dur);
     result_.noteMsOp(end, dur, for_comm, err.background, err.motional,
                      fid, log_fid);
     if (trace_ != nullptr) {
@@ -126,6 +133,8 @@ PrimitiveEmitter::emitOneQubit(QubitId q, TimeUs ready)
         std::max(ready, qubitReady_[q]), dur);
     qubitReady_[q] = start + dur;
 
+    if (log_ != nullptr)
+        log_->noteOneQubit();
     recordSimple(PrimKind::Gate1Q, start, dur, t, kInvalidId, kInvalidId,
                  kInvalidId, q, false,
                  tables_->fidelity().oneQubitFidelity(),
@@ -145,6 +154,8 @@ PrimitiveEmitter::emitMeasure(QubitId q, TimeUs ready)
         std::max(ready, qubitReady_[q]), dur);
     qubitReady_[q] = start + dur;
 
+    if (log_ != nullptr)
+        log_->noteMeasure();
     recordSimple(PrimKind::Measure, start, dur, t, kInvalidId,
                  kInvalidId, kInvalidId, q, false,
                  tables_->fidelity().measureFidelity(),
@@ -168,6 +179,8 @@ PrimitiveEmitter::emitSplit(TrapId t, ChainEnd end, TimeUs ready,
         std::max(ready, qubitReady_[payload]), dur);
     qubitReady_[payload] = start + dur;
 
+    if (log_ != nullptr)
+        log_->noteSplit(t, n - 1);
     Quanta ion_energy = 0;
     if (n == 1) {
         // Extracting the last ion: it keeps the chain energy and gains
@@ -198,6 +211,8 @@ PrimitiveEmitter::emitMerge(TrapId t, ChainEnd end, IonId ion,
         std::max(ready, qubitReady_[payload]), dur);
     qubitReady_[payload] = start + dur;
 
+    if (log_ != nullptr)
+        log_->noteMerge(t);
     Quanta merged = heating_.afterMerge(state_.energy(t),
                                         state_.flightEnergy(ion));
     merged *= hw_.recoolFactor;
@@ -219,6 +234,8 @@ PrimitiveEmitter::emitMove(EdgeId e, IonId ion, TimeUs ready)
         std::max(ready, qubitReady_[payload]), dur);
     qubitReady_[payload] = start + dur;
 
+    if (log_ != nullptr)
+        log_->noteMoves(segments);
     state_.setFlightEnergy(
         ion, heating_.afterMoves(state_.flightEnergy(ion), segments));
     result_.counts.segmentsMoved += segments;
@@ -238,6 +255,8 @@ PrimitiveEmitter::emitJunction(NodeId n, IonId ion, TimeUs ready)
         std::max(ready, qubitReady_[payload]), dur);
     qubitReady_[payload] = start + dur;
 
+    if (log_ != nullptr)
+        log_->noteJunction();
     state_.setFlightEnergy(ion,
                            heating_.afterJunction(state_.flightEnergy(ion)));
 
@@ -252,6 +271,10 @@ PrimitiveEmitter::emitTransit(TrapId t, IonId ion, TimeUs ready)
 {
     // Crossing an empty trap region is modeled as one segment of linear
     // transport: nothing to merge with, nothing to reorder.
+    // afterMove(e, 1) == afterMoves(e, 1) bit for bit, so the replay
+    // log records it as a one-segment move.
+    if (log_ != nullptr)
+        log_->noteMoves(1);
     const TimeUs dur = commDur(hw_.shuttle.movePerSegment);
     const QubitId payload = state_.payloadOf(ion);
     const TimeUs start = state_.trapTimeline(t).acquire(
@@ -280,6 +303,10 @@ PrimitiveEmitter::emitIonSwapHop(IonId ion, ChainEnd end, TimeUs ready)
     // whole chain and no split/merge is needed.
     TimeUs t_flow = ready;
     if (n > 2) {
+        // A two-ion hop (else branch) touches neither chain energy nor
+        // any non-unit fidelity, so only this branch is logged.
+        if (log_ != nullptr)
+            log_->noteIonSwapHop(t, n);
         const TimeUs dur = commDur(hw_.shuttle.split);
         const TimeUs start =
             state_.trapTimeline(t).acquire(t_flow, dur);

@@ -25,6 +25,8 @@
 namespace qccd
 {
 
+class ModelEvalLog;
+
 /** Stamps primitive ops onto the device, charging time/heat/fidelity. */
 class PrimitiveEmitter
 {
@@ -38,10 +40,15 @@ class PrimitiveEmitter
      *        primitives and reorder gates) take zero time but still heat
      *        the chains; used for the compute/communication runtime
      *        decomposition of Fig. 6b
+     * @param model_log optional model-evaluation log (see
+     *        sim/model_replay.hpp): every model-relevant primitive is
+     *        recorded in emission order so the staged toolflow can
+     *        re-evaluate new model knobs without re-scheduling
      */
     PrimitiveEmitter(DeviceState &state, const HardwareParams &hw,
                      SimResult &result, Trace *trace,
-                     bool zero_comm_times = false);
+                     bool zero_comm_times = false,
+                     ModelEvalLog *model_log = nullptr);
 
     /** Per-qubit data-ready times. @{ */
     std::vector<TimeUs> &qubitReady() { return qubitReady_; }
@@ -110,6 +117,7 @@ class PrimitiveEmitter
     SimResult &result_;
     Trace *trace_;
     bool zeroComm_;
+    ModelEvalLog *log_;
     std::vector<TimeUs> qubitReady_;
 
     /** Scale a communication duration per the decomposition mode. */

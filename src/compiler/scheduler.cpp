@@ -87,7 +87,7 @@ Scheduler::validateAndInitEmitter()
     emitter_ = std::make_unique<PrimitiveEmitter>(
         *state_, hw_, result_.metrics,
         options_.collectTrace ? &result_.trace : nullptr,
-        options_.zeroCommTimes);
+        options_.zeroCommTimes, options_.modelLog);
 }
 
 void
@@ -153,8 +153,14 @@ Scheduler::buildQueues()
 void
 Scheduler::placeInitialLayout()
 {
-    result_.mapping = mapQubits(circuit_, topo_, hw_.bufferSlots,
-                                options_.mappingPolicy);
+    // A caller-supplied placement is by contract the mapping mapQubits
+    // would return for these inputs (mapQubits is deterministic), so
+    // adopting it is bit-identical to recomputing it.
+    if (options_.placement != nullptr)
+        result_.mapping = *options_.placement;
+    else
+        result_.mapping = mapQubits(circuit_, topo_, hw_.bufferSlots,
+                                    options_.mappingPolicy);
     result_.metrics.effectiveBuffer = result_.mapping.effectiveBuffer;
     for (TrapId t = 0; t < topo_.trapCount(); ++t) {
         for (QubitId q : result_.mapping.chainOrder[t]) {

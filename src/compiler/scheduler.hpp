@@ -46,6 +46,8 @@
 namespace qccd
 {
 
+class ModelEvalLog;
+
 /** Scheduling knobs. */
 struct ScheduleOptions
 {
@@ -62,6 +64,23 @@ struct ScheduleOptions
      * for the next run (every run fully reinitializes them).
      */
     Deadline deadline;
+
+    /**
+     * Precomputed initial placement to adopt instead of running
+     * mapQubits (the staged toolflow's placement cache). Must be the
+     * mapping mapQubits(circuit, topo, hw.bufferSlots, mappingPolicy)
+     * would produce — mapping is deterministic, so a cached result for
+     * identical inputs is exactly that — and must outlive the run.
+     */
+    const InitialMapping *placement = nullptr;
+
+    /**
+     * When set, every model-relevant primitive is recorded here in
+     * emission order (see sim/model_replay.hpp), enabling model-knob
+     * re-evaluation without re-scheduling. The log is NOT cleared by
+     * the scheduler; callers clear it between recordings.
+     */
+    ModelEvalLog *modelLog = nullptr;
 };
 
 /** Output of one compile+simulate pass. */

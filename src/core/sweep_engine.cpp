@@ -1,9 +1,14 @@
 #include "core/sweep_engine.hpp"
 
 #include <atomic>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <map>
 #include <thread>
+#include <utility>
 
 #include "benchgen/benchgen.hpp"
 #include "circuit/decompose.hpp"
@@ -19,9 +24,21 @@ SweepEngine::resolveJobs(int requested)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("QCCD_JOBS")) {
-        const int parsed = std::atoi(env);
-        if (parsed > 0)
-            return parsed;
+        // A set QCCD_JOBS must be a well-formed worker count; anything
+        // else is a usage error (exit 2), not a silent fallback. atoi
+        // would quietly turn "4x" into 4 and "garbage" into a
+        // hardware-concurrency run.
+        int parsed = 0;
+        const char *end = env + std::strlen(env);
+        const auto [ptr, ec] = std::from_chars(env, end, parsed);
+        if (ec != std::errc() || ptr != end || parsed < 1) {
+            std::fprintf(stderr,
+                         "error: bad QCCD_JOBS '%s': expected an "
+                         "integer >= 1\n",
+                         env);
+            std::exit(2);
+        }
+        return parsed;
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
@@ -88,39 +105,87 @@ SweepEngine::run(const std::vector<SweepJob> &batch,
         }
     }
 
-    std::atomic<size_t> next{0};
+    const size_t workers = std::max<size_t>(
+        std::min(static_cast<size_t>(jobs_), batch.size()), 1);
 
-    auto worker = [&]() {
-        // One buffer pool per worker: schedulers of consecutive points
-        // reuse the gate queue, heap, and device-state storage (fully
-        // reinitialized per run, so results don't depend on job order).
-        SchedulerScratch scratch;
-        for (size_t i = next.fetch_add(1); i < batch.size();
-             i = next.fetch_add(1)) {
-            const SweepJob &job = batch[i];
-            if (errors[i])
-                continue; // context build already failed
-            try {
-                points[i].result =
-                    runToolflow(*job.native, job.design, *jobContexts[i],
-                                job.options, &scratch);
-            } catch (...) {
-                errors[i] = std::current_exception();
+    // Evaluation order: group jobs by schedule stage key so each
+    // worker's StagedToolflow sees same-key points back to back and
+    // serves every point after a group's first by model replay. Groups
+    // keep first-appearance order and are split into contiguous spans
+    // so a large group still spreads across the pool (each span pays
+    // one full schedule). Results land in input-order slots and every
+    // point is bit-identical to a scalar runToolflow call, so grouping
+    // never changes the rows — only how much work computes them.
+    std::vector<size_t> order;
+    order.reserve(batch.size());
+    std::vector<std::pair<size_t, size_t>> spans; // [begin,end) in order
+    {
+        std::map<ScheduleKey, size_t> groupOf;
+        std::vector<std::vector<size_t>> groups;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const auto [it, inserted] = groupOf.emplace(
+                scheduleKeyFor(*batch[i].native, batch[i].design,
+                               batch[i].options),
+                groups.size());
+            if (inserted)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+        for (const std::vector<size_t> &g : groups) {
+            const size_t chunk =
+                std::max<size_t>(1, (g.size() + workers - 1) / workers);
+            for (size_t off = 0; off < g.size(); off += chunk) {
+                const size_t len = std::min(chunk, g.size() - off);
+                spans.emplace_back(order.size(), order.size() + len);
+                order.insert(order.end(), g.begin() + off,
+                             g.begin() + off + len);
             }
         }
+    }
+
+    std::atomic<size_t> nextSpan{0};
+    std::vector<StagedToolflow::Stats> workerStats(workers);
+
+    auto worker = [&](size_t w) {
+        // One staged evaluator per worker: it carries the scratch
+        // buffer pool plus the placement/schedule stage caches across
+        // this worker's spans (fully keyed, so results don't depend on
+        // job order).
+        StagedToolflow staged;
+        for (size_t s = nextSpan.fetch_add(1); s < spans.size();
+             s = nextSpan.fetch_add(1)) {
+            for (size_t k = spans[s].first; k < spans[s].second; ++k) {
+                const size_t i = order[k];
+                const SweepJob &job = batch[i];
+                if (errors[i])
+                    continue; // context build already failed
+                try {
+                    points[i].result =
+                        staged.run(*job.native, job.design,
+                                   *jobContexts[i], job.options);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        }
+        workerStats[w] = staged.stats();
     };
 
-    const size_t workers =
-        std::min(static_cast<size_t>(jobs_), batch.size());
     if (workers <= 1) {
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (size_t w = 0; w < workers; ++w)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, w);
         for (std::thread &t : pool)
             t.join();
+    }
+
+    for (const StagedToolflow::Stats &s : workerStats) {
+        deltaStats_.fullSchedules += s.fullSchedules;
+        deltaStats_.replays += s.replays;
+        deltaStats_.placementsReused += s.placementsReused;
     }
 
     for (size_t i = 0; i < batch.size(); ++i) {

@@ -14,10 +14,15 @@
  *    is identical to a per-point lowering);
  *  - a ToolflowContext cache builds one Topology + PathFinder per
  *    distinct architecture (keyed by ToolflowContext::cacheKey);
- *  - a fixed-size std::thread worker pool pulls point indices off a
- *    shared atomic counter and writes results into preallocated slots,
- *    so the result vector is in input order and bit-identical for any
- *    worker count (jobs=1 included).
+ *  - a fixed-size std::thread worker pool pulls work off a shared
+ *    atomic counter and writes results into preallocated slots, so the
+ *    result vector is in input order and bit-identical for any worker
+ *    count (jobs=1 included);
+ *  - jobs are grouped by schedule stage key (see ScheduleKey) and each
+ *    worker evaluates through a StagedToolflow, so a point differing
+ *    from its predecessor only in model knobs replays the cached
+ *    schedule's model log instead of re-scheduling. Every point's row
+ *    is still bit-identical to a scalar runToolflow call.
  *
  * Both caches hold state that is immutable after construction, and the
  * caches themselves are populated before any worker starts, so workers
@@ -111,11 +116,30 @@ class SweepEngine
     run(const std::vector<SweepJob> &batch,
         FailurePolicy policy = FailurePolicy::Rethrow);
 
-    /** Resolve a requested worker count (see the constructor). */
+    /**
+     * Resolve a requested worker count (see the constructor). A set
+     * but malformed QCCD_JOBS (non-integer, trailing junk, < 1, or out
+     * of range) is a usage error: a pointed diagnostic goes to stderr
+     * and the process exits with status 2 — silently falling back to
+     * hardware concurrency would hide the typo behind an unexpected
+     * core count.
+     */
     static int resolveJobs(int requested);
+
+    /**
+     * Cumulative stage-reuse counters summed over every run() batch:
+     * how many points ran the scheduler vs. were served by model
+     * replay (the sweep's delta-evaluation win, surfaced as the
+     * "staged:" line and BM_SweepDelta's metric).
+     */
+    const StagedToolflow::Stats &deltaStats() const
+    {
+        return deltaStats_;
+    }
 
   private:
     int jobs_;
+    StagedToolflow::Stats deltaStats_;
     std::map<std::string, std::shared_ptr<const Circuit>> circuits_;
     std::map<ContextKey, std::shared_ptr<const ToolflowContext>> contexts_;
 };

@@ -445,6 +445,16 @@ SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
                                             ? FailurePolicy::Isolate
                                             : FailurePolicy::Rethrow;
 
+    // The engine's stage-reuse counters are cumulative across batches
+    // (and across runs sharing the engine); report this run's share.
+    const StagedToolflow::Stats delta_before = engine_.deltaStats();
+    const auto finishStats = [&]() {
+        const StagedToolflow::Stats &after = engine_.deltaStats();
+        stats.fullSchedules =
+            after.fullSchedules - delta_before.fullSchedules;
+        stats.replays = after.replays - delta_before.replays;
+    };
+
     // The cache degrades, never sinks: any store failure mid-run
     // (I/O error, injected cache.* fault) drops it for the rest of
     // the run with one warning, and every point is evaluated cold —
@@ -591,10 +601,12 @@ SweepSpecRunner::run(const std::vector<PlannedPoint> &points, size_t skip,
                 stats.failed >= policy.maxErrors &&
                 (i + 1 < end || end < points.size())) {
                 stats.aborted = true;
+                finishStats();
                 return stats;
             }
         }
     }
+    finishStats();
     return stats;
 }
 

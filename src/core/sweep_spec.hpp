@@ -181,6 +181,14 @@ struct SweepRunStats
     /** Under cacheVerify: hits whose recomputation disagreed with the
      *  stored record (any nonzero count is a defect report). */
     size_t cacheDivergent = 0;
+
+    /** Evaluated points that ran the full scheduler (staged toolflow;
+     *  see SweepEngine::deltaStats). @{ */
+    size_t fullSchedules = 0;
+
+    /** Evaluated points served by model replay of a cached schedule. */
+    size_t replays = 0;
+    /** @} */
 };
 
 /**

@@ -46,10 +46,63 @@ ToolflowContext::cacheKey(const DesignPoint &design)
                       s.xJunction};
 }
 
+PlacementKey
+placementKeyFor(const Circuit &native, const DesignPoint &design,
+                const RunOptions &options)
+{
+    PlacementKey key;
+    key.circuit = reinterpret_cast<std::uintptr_t>(&native);
+    key.topologySpec = design.topologySpec;
+    key.trapCapacity = design.trapCapacity;
+    key.bufferSlots = design.hw.bufferSlots;
+    key.mappingPolicy = options.mappingPolicy;
+    return key;
+}
+
+ScheduleKey
+scheduleKeyFor(const Circuit &native, const DesignPoint &design,
+               const RunOptions &options)
+{
+    const HardwareParams &hw = design.hw;
+    ScheduleKey key;
+    key.circuit = reinterpret_cast<std::uintptr_t>(&native);
+    key.topologySpec = design.topologySpec;
+    key.trapCapacity = design.trapCapacity;
+    key.movePerSegment = hw.shuttle.movePerSegment;
+    key.split = hw.shuttle.split;
+    key.merge = hw.shuttle.merge;
+    key.yJunction = hw.shuttle.yJunction;
+    key.xJunction = hw.shuttle.xJunction;
+    key.ionSwapRotation = hw.shuttle.ionSwapRotation;
+    key.gateImpl = hw.gateImpl;
+    key.oneQubitUs = hw.oneQubitUs;
+    key.measureUs = hw.measureUs;
+    key.twoQubitFloorUs = hw.twoQubitFloorUs;
+    key.reorder = hw.reorder;
+    key.bufferSlots = hw.bufferSlots;
+    key.mappingPolicy = options.mappingPolicy;
+    key.decomposeRuntime = options.decomposeRuntime;
+    key.collectTrace = options.collectTrace;
+    key.pointTimeoutMs = options.pointTimeoutMs;
+    return key;
+}
+
+namespace
+{
+
+/**
+ * The shared body of every full toolflow evaluation. @p placement
+ * optionally injects a cached initial mapping (both passes use the
+ * same one — they map identically anyway); @p log optionally records
+ * the real pass's model-relevant primitives for later replay (the
+ * zero-communication pass is schedule-determined and never replayed,
+ * so it is not logged).
+ */
 RunResult
-runToolflow(const Circuit &native, const DesignPoint &design,
-            const ToolflowContext &context, const RunOptions &options,
-            SchedulerScratch *scratch)
+runToolflowImpl(const Circuit &native, const DesignPoint &design,
+                const ToolflowContext &context,
+                const RunOptions &options, SchedulerScratch *scratch,
+                const InitialMapping *placement, ModelEvalLog *log)
 {
     QCCD_FAULT_POINT("toolflow.run");
 
@@ -72,6 +125,8 @@ runToolflow(const Circuit &native, const DesignPoint &design,
         sched.collectTrace = options.collectTrace;
         sched.mappingPolicy = options.mappingPolicy;
         sched.deadline = deadline;
+        sched.placement = placement;
+        sched.modelLog = log;
         Scheduler scheduler(native, context.topology(), design.hw,
                             context.paths(), sched, scratch);
         result.sim = scheduler.run().metrics;
@@ -88,11 +143,23 @@ runToolflow(const Circuit &native, const DesignPoint &design,
         sched.zeroCommTimes = true;
         sched.mappingPolicy = options.mappingPolicy;
         sched.deadline = deadline;
+        sched.placement = placement;
         Scheduler scheduler(native, context.topology(), design.hw,
                             context.paths(), sched, scratch);
         result.computeOnlyTime = scheduler.run().metrics.makespan;
     }
     return result;
+}
+
+} // namespace
+
+RunResult
+runToolflow(const Circuit &native, const DesignPoint &design,
+            const ToolflowContext &context, const RunOptions &options,
+            SchedulerScratch *scratch)
+{
+    return runToolflowImpl(native, design, context, options, scratch,
+                           nullptr, nullptr);
 }
 
 RunResult
@@ -104,23 +171,81 @@ runToolflow(const Circuit &circuit, const DesignPoint &design,
     return runToolflow(native, design, context, options);
 }
 
+RunResult
+StagedToolflow::run(const Circuit &native, const DesignPoint &design,
+                    const ToolflowContext &context,
+                    const RunOptions &options)
+{
+    const ScheduleKey key = scheduleKeyFor(native, design, options);
+    if (haveSchedule_ && key == scheduleKey_) {
+        // Model-knobs-only delta: the cached schedule is bit-identical
+        // to what this point would produce, so replay its model log
+        // under the new knobs. The fault point and parameter
+        // validation keep failure semantics aligned with the full
+        // path (an infeasible model knob must classify as infeasible
+        // here too, not silently evaluate).
+        QCCD_FAULT_POINT("toolflow.run");
+        design.hw.validate();
+        RunResult result = scheduleBase_;
+        result.sim = replayModelEval(log_, design.hw, scheduleBase_.sim);
+        ++stats_.replays;
+        return result;
+    }
+
+    const PlacementKey pkey = placementKeyFor(native, design, options);
+    const InitialMapping *placement = nullptr;
+    if (havePlacement_ && pkey == placementKey_) {
+        placement = &placement_;
+        ++stats_.placementsReused;
+    }
+
+    // Invalidate before scheduling so a throw (timeout, fault
+    // injection, infeasible config) can never leave a stale schedule
+    // paired with the new key.
+    haveSchedule_ = false;
+    log_.clear();
+    RunResult result = runToolflowImpl(native, design, context, options,
+                                       &scratch_, placement, &log_);
+    ++stats_.fullSchedules;
+
+    scheduleKey_ = key;
+    scheduleBase_ = result;
+    haveSchedule_ = true;
+    if (placement == nullptr) {
+        // Adopt this run's mapping for future placement reuse. The
+        // scheduler recomputes mapQubits internally; rerunning it here
+        // is cheap relative to a schedule and keeps the cache honest.
+        placementKey_ = pkey;
+        placement_ = mapQubits(native, context.topology(),
+                               design.hw.bufferSlots,
+                               options.mappingPolicy);
+        havePlacement_ = true;
+    }
+    return result;
+}
+
 ScheduleResult
 runToolflowDetailed(const Circuit &native, const DesignPoint &design,
-                    const ToolflowContext &context)
+                    const ToolflowContext &context,
+                    const RunOptions &options)
 {
     ScheduleOptions sched;
     sched.collectTrace = true;
+    sched.mappingPolicy = options.mappingPolicy;
+    if (options.pointTimeoutMs > 0)
+        sched.deadline = Deadline::afterMs(options.pointTimeoutMs);
     Scheduler scheduler(native, context.topology(), design.hw,
                         context.paths(), sched);
     return scheduler.run();
 }
 
 ScheduleResult
-runToolflowDetailed(const Circuit &circuit, const DesignPoint &design)
+runToolflowDetailed(const Circuit &circuit, const DesignPoint &design,
+                    const RunOptions &options)
 {
     const Circuit native = decomposeToNative(circuit);
     const ToolflowContext context(design);
-    return runToolflowDetailed(native, design, context);
+    return runToolflowDetailed(native, design, context, options);
 }
 
 } // namespace qccd

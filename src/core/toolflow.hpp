@@ -10,6 +10,7 @@
 #define QCCD_CORE_TOOLFLOW_HPP
 
 #include <compare>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "circuit/circuit.hpp"
 #include "compiler/scheduler.hpp"
 #include "core/design_point.hpp"
+#include "sim/model_replay.hpp"
 
 namespace qccd
 {
@@ -46,6 +48,86 @@ struct ContextKey
 
 /** Readable rendering for test failures and debugging. */
 std::ostream &operator<<(std::ostream &out, const ContextKey &key);
+
+/**
+ * Stage key of the placement stage: exactly the inputs mapQubits reads.
+ * Two runs with equal placement keys produce identical InitialMappings
+ * (mapQubits is deterministic), so the later one can adopt the earlier
+ * one's mapping.
+ *
+ * The circuit is identified by object address: stage keys are only
+ * compared between runs that share their lowered circuits by pointer
+ * (SweepEngine jobs hold them via shared_ptr for the whole batch), so
+ * identity implies content and no digest is needed. Keys must not
+ * outlive the circuits they name.
+ */
+struct PlacementKey
+{
+    std::uintptr_t circuit = 0;
+    std::string topologySpec;
+    int trapCapacity = 0;
+    int bufferSlots = 0;
+    MappingPolicy mappingPolicy = MappingPolicy::Packed;
+
+    friend auto operator<=>(const PlacementKey &, const PlacementKey &) =
+        default;
+    friend bool operator==(const PlacementKey &, const PlacementKey &) =
+        default;
+};
+
+/**
+ * Stage key of the schedule stage: every input that can influence the
+ * scheduler's decisions, the emitted primitive sequence, or any
+ * primitive's duration — circuit identity (see PlacementKey), the
+ * architecture, all gate/shuttle timing knobs, the microarchitecture
+ * (gate implementation, reorder method, buffer, placement policy) and
+ * the run options that alter scheduling (the decomposition pass, trace
+ * collection, the watchdog budget).
+ *
+ * Runs with equal schedule keys emit bit-identical schedules; they may
+ * differ only in the pure model knobs (heating k1/k2, recool factor,
+ * Gamma, kappa, 1q/measurement error rates), whose effects a recorded
+ * ModelEvalLog replays without re-scheduling. That is the invariant
+ * the staged toolflow's delta evaluation rests on; it is enforced by
+ * the staged-vs-scalar differential in tests/test_sweep_engine.cpp.
+ */
+struct ScheduleKey
+{
+    std::uintptr_t circuit = 0;
+    std::string topologySpec;
+    int trapCapacity = 0;
+
+    /** Shuttle timings (all six feed durations and routing costs). @{ */
+    TimeUs movePerSegment = 0;
+    TimeUs split = 0;
+    TimeUs merge = 0;
+    TimeUs yJunction = 0;
+    TimeUs xJunction = 0;
+    TimeUs ionSwapRotation = 0;
+    /** @} */
+
+    /** Gate timing knobs (they set ready times and pop order). @{ */
+    GateImpl gateImpl = GateImpl::FM;
+    TimeUs oneQubitUs = 0;
+    TimeUs measureUs = 0;
+    TimeUs twoQubitFloorUs = 0;
+    /** @} */
+
+    ReorderMethod reorder = ReorderMethod::GS;
+    int bufferSlots = 0;
+    MappingPolicy mappingPolicy = MappingPolicy::Packed;
+
+    /** Schedule-affecting run options. @{ */
+    bool decomposeRuntime = false;
+    bool collectTrace = false;
+    long pointTimeoutMs = 0;
+    /** @} */
+
+    friend auto operator<=>(const ScheduleKey &, const ScheduleKey &) =
+        default;
+    friend bool operator==(const ScheduleKey &, const ScheduleKey &) =
+        default;
+};
 
 /** Application + device metrics for one toolflow run. */
 struct RunResult
@@ -126,6 +208,80 @@ class ToolflowContext
     std::unique_ptr<const PathFinder> paths_;
 };
 
+/** The placement stage key for @p native on @p design (see
+ *  PlacementKey for the circuit-identity caveat). */
+PlacementKey placementKeyFor(const Circuit &native,
+                             const DesignPoint &design,
+                             const RunOptions &options);
+
+/** The schedule stage key for @p native on @p design under
+ *  @p options (see ScheduleKey for the reuse invariant). */
+ScheduleKey scheduleKeyFor(const Circuit &native,
+                           const DesignPoint &design,
+                           const RunOptions &options);
+
+/**
+ * Per-worker staged evaluator: runToolflow split into keyed, reusable
+ * stages (placement → schedule → model evaluation).
+ *
+ * Consecutive run() calls compare stage keys against the previous
+ * point's. Equal placement key: the cached InitialMapping is adopted
+ * instead of re-running mapQubits. Equal schedule key: the whole
+ * schedule is reused — the cached run's recorded ModelEvalLog is
+ * replayed under the new point's model knobs, re-evaluating only the
+ * model-dependent metrics (a large multiple cheaper than scheduling).
+ * Results are bit-identical to scalar runToolflow calls in any order;
+ * SweepEngine orders each batch by schedule key so model-knob axes
+ * collapse onto one full schedule per key.
+ *
+ * Holds a SchedulerScratch and the stage caches; not thread-safe (one
+ * instance per worker). Cached keys hold circuit addresses, so a
+ * StagedToolflow must not outlive the circuits it has evaluated.
+ */
+class StagedToolflow
+{
+  public:
+    /** Stage-reuse counters (BM_SweepDelta's metric). */
+    struct Stats
+    {
+        size_t fullSchedules = 0;    ///< points that ran the scheduler
+        size_t replays = 0;          ///< points served by model replay
+        size_t placementsReused = 0; ///< full runs that skipped mapQubits
+    };
+
+    /**
+     * Evaluate one point, reusing the previous point's stages when the
+     * keys allow. Bit-identical to runToolflow(native, design, context,
+     * options, scratch). Exceptions propagate exactly as runToolflow's
+     * (a throw invalidates the schedule cache, so the next point runs
+     * full); infeasible model parameters are rejected on the replay
+     * path by the same HardwareParams::validate the scheduler runs.
+     */
+    RunResult run(const Circuit &native, const DesignPoint &design,
+                  const ToolflowContext &context,
+                  const RunOptions &options);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    SchedulerScratch scratch_;
+
+    /** Placement stage cache (last distinct mapping). @{ */
+    bool havePlacement_ = false;
+    PlacementKey placementKey_;
+    InitialMapping placement_;
+    /** @} */
+
+    /** Schedule stage cache (last full schedule + its model log). @{ */
+    bool haveSchedule_ = false;
+    ScheduleKey scheduleKey_;
+    RunResult scheduleBase_;
+    ModelEvalLog log_;
+    /** @} */
+
+    Stats stats_;
+};
+
 /**
  * Run @p circuit (any supported gate set) on @p design.
  *
@@ -160,15 +316,20 @@ RunResult runToolflow(const Circuit &native, const DesignPoint &design,
 
 /**
  * Like runToolflow but also returns the full schedule (trace and
- * mapping) for inspection; always collects the trace.
+ * mapping) for inspection; always collects the trace. Honors the
+ * schedule-shaping options (mappingPolicy, pointTimeoutMs); the
+ * trace/decompose flags are ignored (the trace is always collected,
+ * and there is no second pass to decompose).
  */
 ScheduleResult runToolflowDetailed(const Circuit &circuit,
-                                   const DesignPoint &design);
+                                   const DesignPoint &design,
+                                   const RunOptions &options = {});
 
 /** Context-sharing variant of runToolflowDetailed (@p native lowered). */
 ScheduleResult runToolflowDetailed(const Circuit &native,
                                    const DesignPoint &design,
-                                   const ToolflowContext &context);
+                                   const ToolflowContext &context,
+                                   const RunOptions &options = {});
 
 } // namespace qccd
 

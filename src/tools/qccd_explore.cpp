@@ -291,6 +291,11 @@ runSweepMode(const std::string &sweep_file, SweepCliOptions cli)
                    policy);
     writer.finish();
 
+    // Greppable staged-evaluation provenance ("^staged:"): how many
+    // points paid a full schedule vs. rode a model-log replay.
+    std::cout << "staged: " << stats.fullSchedules << " full, "
+              << stats.replays << " replayed\n";
+
     if (store != nullptr) {
         // One greppable provenance line per cached run ("^cache:"):
         // check_golden.sh uses it to refuse blessing goldens from a
@@ -528,8 +533,11 @@ main(int argc, char **argv)
         }
 
         if (analyze || !isa_file.empty()) {
+            // Thread the run options through: --policy must shape the
+            // analyzed schedule and --point-timeout-ms must guard it,
+            // exactly as they do on the metrics path.
             const ScheduleResult detail =
-                runToolflowDetailed(circuit, design);
+                runToolflowDetailed(circuit, design, options);
             std::cout << summarizeRun(name, design,
                                       RunResult{detail.metrics, 0})
                       << "\n";
@@ -549,7 +557,7 @@ main(int argc, char **argv)
 
         if (trace_ops > 0) {
             const ScheduleResult detail =
-                runToolflowDetailed(circuit, design);
+                runToolflowDetailed(circuit, design, options);
             std::cout << summarizeRun(name, design,
                                       RunResult{detail.metrics, 0})
                       << "\n\n"

@@ -213,6 +213,47 @@ else
     failures=$((failures + 1))
 fi
 
+# A set but malformed QCCD_JOBS must exit 2 with a pointed diagnostic
+# naming the variable — never silently fall back to hardware
+# concurrency (atoi used to turn "4x" into 4 and "garbage" into a
+# surprise core count).
+for bad in garbage 4x 0 -2 99999999999999999999; do
+    QCCD_JOBS="$bad" "$EXPLORE" --sweep "$scratch/tiny.sweep" \
+        --out "$scratch/jobs.csv" > /dev/null 2> "$scratch/stderr"
+    if [[ $? -ne 2 ]] || ! grep -q "QCCD_JOBS" "$scratch/stderr" \
+        || [[ $(wc -l < "$scratch/stderr") -ne 1 ]]; then
+        echo "FAIL: QCCD_JOBS='$bad' should exit 2 with a one-line" \
+             "diagnostic" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: malformed QCCD_JOBS '$bad' exits 2"
+    fi
+done
+# ...and a well-formed QCCD_JOBS still runs, byte-identically.
+rm -f "$scratch/jobs.csv"
+QCCD_JOBS=2 "$EXPLORE" --sweep "$scratch/tiny.sweep" \
+    --out "$scratch/jobs.csv" > /dev/null 2>&1
+if [[ $? -eq 0 ]] && cmp -s "$scratch/jobs.csv" "$scratch/tiny.csv"; then
+    echo "ok: QCCD_JOBS=2 runs byte-identically to the default"
+else
+    echo "FAIL: QCCD_JOBS=2 should succeed with identical rows" >&2
+    failures=$((failures + 1))
+fi
+
+# --analyze must honor --policy: the detailed path used to drop the
+# run options, so packed and balanced produced identical analyses.
+"$EXPLORE" --app qaoa --policy packed --analyze \
+    > "$scratch/an_packed.txt" 2>&1
+"$EXPLORE" --app qaoa --policy balanced --analyze \
+    > "$scratch/an_balanced.txt" 2>&1
+if [[ -s "$scratch/an_packed.txt" && -s "$scratch/an_balanced.txt" ]] \
+    && ! cmp -s "$scratch/an_packed.txt" "$scratch/an_balanced.txt"; then
+    echo "ok: --analyze honors --policy"
+else
+    echo "FAIL: --analyze output is policy-blind" >&2
+    failures=$((failures + 1))
+fi
+
 # Result cache (--cache / --cache-verify): misuse and the refusing
 # corruption classes are one-line diagnostics. (Healing classes — torn
 # tails, checksum failures — are covered by test_result_store; here the

@@ -13,6 +13,7 @@
 #include "benchgen/benchgen.hpp"
 #include "circuit/decompose.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/sweep_engine.hpp"
 
 namespace qccd
@@ -193,11 +194,188 @@ TEST(SweepEngine, ResolveJobsPrefersExplicitThenEnvThenHardware)
     EXPECT_EQ(SweepEngine::resolveJobs(0), 5);
     EXPECT_EQ(SweepEngine::resolveJobs(2), 2);
 
-    ASSERT_EQ(setenv("QCCD_JOBS", "garbage", 1), 0);
-    EXPECT_GE(SweepEngine::resolveJobs(0), 1);
-
     ASSERT_EQ(unsetenv("QCCD_JOBS"), 0);
     EXPECT_GE(SweepEngine::resolveJobs(0), 1);
+}
+
+TEST(SweepEngineDeathTest, ResolveJobsRejectsMalformedEnv)
+{
+    // A set but broken QCCD_JOBS is a usage error (exit 2 with a
+    // pointed diagnostic), never a silent hardware-concurrency
+    // fallback: std::atoi used to turn "garbage" into a surprise
+    // core count and "4x" into 4.
+    for (const char *bad :
+         {"garbage", "4x", "0", "-2", "", " 4", "99999999999999999999"}) {
+        ASSERT_EQ(setenv("QCCD_JOBS", bad, 1), 0);
+        EXPECT_EXIT(SweepEngine::resolveJobs(0),
+                    testing::ExitedWithCode(2), "bad QCCD_JOBS")
+            << "value: '" << bad << "'";
+    }
+    ASSERT_EQ(unsetenv("QCCD_JOBS"), 0);
+}
+
+/**
+ * The staged toolflow's whole contract: evaluating a batch through the
+ * engine (which groups by schedule key and replays model logs) must be
+ * bit-identical to evaluating every point from scratch with scalar
+ * runToolflow, for any worker count and any batch composition. Random
+ * grids mix pure model-knob axes (replay candidates) with
+ * schedule-affecting axes (gate implementation, capacity, reorder,
+ * placement policy) so both the reuse and the invalidation edges are
+ * exercised.
+ */
+TEST(SweepEngine, StagedEvaluationMatchesScalarToolflowOnRandomGrids)
+{
+    Rng rng(0x5eedc0de);
+    const char *apps[] = {"qft", "qaoa", "bv", "adder"};
+
+    for (int trial = 0; trial < 30; ++trial) {
+        const char *app = apps[rng.nextInt(0, 3)];
+        const auto native =
+            SweepEngine::lower(makeBenchmarkSized(app, 12));
+
+        const DesignPoint base = rng.nextBool()
+                                     ? DesignPoint::linear(4, 8)
+                                     : DesignPoint::linear(3, 10);
+
+        std::vector<DesignPoint> designs{base};
+        const auto expand = [&designs](int count, const auto &apply) {
+            std::vector<DesignPoint> out;
+            for (const DesignPoint &d : designs)
+                for (int v = 0; v < count; ++v) {
+                    DesignPoint e = d;
+                    apply(e, v);
+                    out.push_back(e);
+                }
+            designs = std::move(out);
+        };
+
+        // One or two pure model-knob axes (the replay fast path)...
+        const int model_axes = rng.nextInt(1, 2);
+        for (int a = 0; a < model_axes; ++a) {
+            switch (rng.nextInt(0, 3)) {
+            case 0:
+                expand(rng.nextInt(2, 3), [](DesignPoint &d, int v) {
+                    d.hw.gammaPerS = 1.0 + 0.75 * v;
+                });
+                break;
+            case 1:
+                expand(2, [](DesignPoint &d, int v) {
+                    d.hw.heatingK1 = 0.1 + 0.05 * v;
+                    d.hw.heatingK2 = 0.01 + 0.005 * v;
+                });
+                break;
+            case 2:
+                expand(2, [](DesignPoint &d, int v) {
+                    d.hw.kappa = 5e-6 * (1 + v);
+                    d.hw.oneQubitError = 3e-5 * (1 + 2 * v);
+                });
+                break;
+            default:
+                expand(2, [](DesignPoint &d, int v) {
+                    d.hw.measureError = 1e-3 * (1 + v);
+                    d.hw.recoolFactor = v == 0 ? 1.0 : 0.5;
+                });
+                break;
+            }
+        }
+        // ...sometimes crossed with a schedule-affecting axis (forces
+        // full re-schedules between key groups).
+        switch (rng.nextInt(0, 3)) {
+        case 0:
+            expand(2, [](DesignPoint &d, int v) {
+                d.hw.gateImpl = v == 0 ? GateImpl::FM : GateImpl::AM1;
+            });
+            break;
+        case 1:
+            expand(2, [](DesignPoint &d, int v) {
+                d.trapCapacity = 8 + 2 * v;
+            });
+            break;
+        case 2:
+            expand(2, [](DesignPoint &d, int v) {
+                d.hw.reorder = v == 0 ? ReorderMethod::GS
+                                      : ReorderMethod::IS;
+            });
+            break;
+        default:
+            break; // model knobs only: the whole grid is one key group
+        }
+
+        RunOptions options;
+        options.decomposeRuntime = rng.nextBool();
+        options.mappingPolicy = rng.nextBool() ? MappingPolicy::Packed
+                                               : MappingPolicy::Balanced;
+
+        std::vector<SweepJob> jobs;
+        for (const DesignPoint &d : designs) {
+            SweepJob job;
+            job.application = app;
+            job.native = native;
+            job.design = d;
+            job.options = options;
+            jobs.push_back(std::move(job));
+        }
+
+        SweepEngine serial(1);
+        SweepEngine four(4);
+        const auto a = serial.run(jobs);
+        const auto b = four.run(jobs);
+        expectIdenticalPoints(a, b);
+
+        // A sharded evaluation (two halves on fresh engines) must
+        // union to the same rows: replay never leaks across shard
+        // boundaries.
+        const size_t half = jobs.size() / 2;
+        SweepEngine lo(2);
+        SweepEngine hi(2);
+        const auto first = lo.run(
+            {jobs.begin(), jobs.begin() + static_cast<long>(half)});
+        const auto second = hi.run(
+            {jobs.begin() + static_cast<long>(half), jobs.end()});
+        ASSERT_EQ(first.size() + second.size(), a.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            const SweepPoint &shard =
+                i < half ? first[i] : second[i - half];
+            expectIdenticalResults(a[i].result, shard.result,
+                                   "shard " + a[i].design.label());
+        }
+
+        // Scalar reference: every point from scratch, no staging.
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const ToolflowContext context(jobs[i].design);
+            const RunResult scalar =
+                runToolflow(*jobs[i].native, jobs[i].design, context,
+                            jobs[i].options);
+            expectIdenticalResults(
+                a[i].result, scalar,
+                "trial " + std::to_string(trial) + " point " +
+                    std::to_string(i) + " " + a[i].design.label());
+        }
+    }
+}
+
+TEST(SweepEngine, ModelKnobOnlyAxesCollapseToOneScheduleKeyGroup)
+{
+    // gateImpl axis (2 schedule keys) x gamma axis (5 model values):
+    // a serial engine must schedule exactly once per key group and
+    // replay everything else.
+    SweepEngine engine(1);
+    const auto native = SweepEngine::lower(makeBenchmarkSized("qft", 12));
+    std::vector<SweepJob> jobs;
+    for (GateImpl gate : {GateImpl::FM, GateImpl::AM1}) {
+        for (int v = 0; v < 5; ++v) {
+            SweepJob job;
+            job.application = "qft";
+            job.native = native;
+            job.design = DesignPoint::linear(4, 8, gate);
+            job.design.hw.gammaPerS = 1.0 + 0.5 * v;
+            jobs.push_back(std::move(job));
+        }
+    }
+    engine.run(jobs);
+    EXPECT_EQ(engine.deltaStats().fullSchedules, 2u);
+    EXPECT_EQ(engine.deltaStats().replays, 8u);
 }
 
 TEST(SweepEngine, PropagatesJobErrorsAfterFinishingTheBatch)

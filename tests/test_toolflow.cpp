@@ -39,6 +39,49 @@ TEST(Toolflow, DetailedRunExposesTraceAndMapping)
     EXPECT_EQ(r.mapping.chainOrder.size(), 3u);
 }
 
+TEST(Toolflow, DetailedRunHonorsMappingPolicy)
+{
+    // The bug this pins: the detailed path (--analyze/--emit-isa/
+    // --trace) used to drop the run options, so --policy balanced
+    // analyzed a schedule the metrics path would never run. The
+    // detailed metrics must equal runToolflow's under each policy,
+    // and the two policies must be distinguishable.
+    const Circuit c = makeBenchmarkSized("qaoa", 12);
+    DesignPoint dp = DesignPoint::linear(3, 8);
+    for (MappingPolicy policy :
+         {MappingPolicy::Packed, MappingPolicy::Balanced}) {
+        RunOptions options;
+        options.mappingPolicy = policy;
+        const ScheduleResult detail =
+            runToolflowDetailed(c, dp, options);
+        const RunResult scalar = runToolflow(c, dp, options);
+        EXPECT_EQ(detail.metrics.makespan, scalar.sim.makespan);
+        EXPECT_EQ(detail.metrics.logFidelity, scalar.sim.logFidelity);
+        EXPECT_EQ(detail.metrics.counts.shuttles,
+                  scalar.sim.counts.shuttles);
+        EXPECT_EQ(detail.metrics.counts.segmentsMoved,
+                  scalar.sim.counts.segmentsMoved);
+    }
+
+    RunOptions packed, balanced;
+    packed.mappingPolicy = MappingPolicy::Packed;
+    balanced.mappingPolicy = MappingPolicy::Balanced;
+    EXPECT_NE(runToolflowDetailed(c, dp, packed).mapping.trapOf,
+              runToolflowDetailed(c, dp, balanced).mapping.trapOf);
+}
+
+TEST(Toolflow, DetailedRunHonorsPointTimeout)
+{
+    // The watchdog must also guard the detailed path: an armed,
+    // already-hopeless budget fires instead of grinding through the
+    // whole schedule.
+    const Circuit c = makeBenchmarkSized("supremacy", 64);
+    DesignPoint dp = DesignPoint::linear(16, 6);
+    RunOptions options;
+    options.pointTimeoutMs = 1;
+    EXPECT_THROW(runToolflowDetailed(c, dp, options), TimeoutError);
+}
+
 TEST(Toolflow, RuntimeDecompositionSumsToTotal)
 {
     const Circuit c = makeBenchmarkSized("qft", 12);
