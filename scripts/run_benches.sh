@@ -11,9 +11,9 @@
 # Each paper-figure bench gets a wrapper record with its wall time,
 # exit code, and the sweep worker count (QCCD_JOBS or the core count),
 # so the perf trajectory stays comparable across PRs and job settings;
-# micro_models (google-benchmark) emits its native JSON report, which
-# downstream tooling can diff run-over-run. A BENCH_SUMMARY.json with
-# every bench's wall time is written last.
+# micro_models and search_convergence (google-benchmark) emit their
+# native JSON reports, which downstream tooling can diff run-over-run.
+# A BENCH_SUMMARY.json with every bench's wall time is written last.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -69,7 +69,7 @@ for exe in "$BUILD_DIR"/bench/*; do
     abs_exe=$(cd "$(dirname "$exe")" && pwd)/$name
     stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
-    if [[ "$name" == "micro_models" ]]; then
+    if [[ "$name" == "micro_models" || "$name" == "search_convergence" ]]; then
         echo "== $name (google-benchmark) =="
         # Write to a temp file first so a crashed run can't leave a
         # truncated JSON record behind.
@@ -169,6 +169,30 @@ if [[ -f "$OUT_DIR/BENCH_micro_models.json" ]]; then
     done
 fi
 
+# Surrogate-search economics from BM_SearchConvergence: points really
+# evaluated vs. the exhaustive space, the surrogate/simulator Spearman
+# rank correlation, and whether the search found the exhaustive
+# optimum. "null" when search_convergence was not built or not run.
+search_points_evaluated=null
+search_exhaustive_points=null
+search_rank_correlation=null
+search_found_optimum=null
+if [[ -f "$OUT_DIR/BENCH_search_convergence.json" ]]; then
+    extract_search_counter() {
+        awk -v key="\"$1\"" -v fmt="$2" '
+            /"name": "BM_SearchConvergence"/ { found = 1 }
+            found && $1 == key ":" {
+                gsub(/,/, ""); printf fmt, $2; exit
+            }' "$OUT_DIR/BENCH_search_convergence.json"
+    }
+    for counter in points_evaluated exhaustive_points found_optimum; do
+        extracted=$(extract_search_counter "search_$counter" "%.0f")
+        [[ -n "$extracted" ]] && eval "search_$counter=$extracted"
+    done
+    extracted=$(extract_search_counter "search_rank_correlation" "%.4f")
+    [[ -n "$extracted" ]] && search_rank_correlation=$extracted
+fi
+
 # One aggregate record so the per-bench wall-time trajectory can be
 # diffed across PRs without opening every BENCH_*.json.
 {
@@ -178,6 +202,10 @@ fi
     echo "  \"sweep_delta_points\": $sweep_delta_points,"
     echo "  \"sweep_delta_full_schedules\": $sweep_delta_full_schedules,"
     echo "  \"sweep_delta_replays\": $sweep_delta_replays,"
+    echo "  \"search_points_evaluated\": $search_points_evaluated,"
+    echo "  \"search_exhaustive_points\": $search_exhaustive_points,"
+    echo "  \"search_rank_correlation\": $search_rank_correlation,"
+    echo "  \"search_found_optimum\": $search_found_optimum,"
     echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
     echo "  \"benches\": ["
     sep=""

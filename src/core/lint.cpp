@@ -149,6 +149,8 @@ class SweepLinter
             } else if (key == "description") {
                 expectKind(value, JsonValue::Kind::String,
                            "\"description\"");
+            } else if (key == "search") {
+                walkSearch(value);
             } else if (key == "sweeps") {
                 if (expectKind(value, JsonValue::Kind::Array,
                                "\"sweeps\""))
@@ -156,7 +158,8 @@ class SweepLinter
             } else {
                 error("unknown-key", value,
                       "unknown spec key \"" + key +
-                          "\" (known: name, description, sweeps)");
+                          "\" (known: name, description, search, "
+                          "sweeps)");
             }
         }
         if (root.find("name") == nullptr)
@@ -228,6 +231,42 @@ class SweepLinter
                       "\"name\" may only contain letters, digits, "
                       "'_', '-' and '.'");
                 return;
+            }
+        }
+    }
+
+    /** The "search" options block: same schema the parser enforces
+     *  (sweep_spec.cpp parseSearch), but error-accumulating so one
+     *  pass reports every defect with its position. */
+    void walkSearch(const JsonValue &value)
+    {
+        if (!expectKind(value, JsonValue::Kind::Object, "\"search\""))
+            return;
+        for (const auto &[key, v] : value.members) {
+            if (key == "budget") {
+                const std::optional<int> budget =
+                    intOf(v, "\"budget\"");
+                if (budget && *budget < 1)
+                    error("bad-search", v,
+                          "\"budget\" must be at least 1");
+            } else if (key == "eta") {
+                const std::optional<int> eta = intOf(v, "\"eta\"");
+                if (eta && *eta < 2)
+                    error("bad-search", v,
+                          "\"eta\" must be at least 2");
+            } else if (key == "seed") {
+                if (!expectKind(v, JsonValue::Kind::Number,
+                                "\"seed\""))
+                    continue;
+                const auto seed = static_cast<uint64_t>(v.number);
+                if (static_cast<double>(seed) != v.number ||
+                    v.number < 0)
+                    error("bad-search", v,
+                          "\"seed\" must be a non-negative integer");
+            } else {
+                error("unknown-key", v,
+                      "unknown search key \"" + key +
+                          "\" (known: budget, eta, seed)");
             }
         }
     }
@@ -1022,8 +1061,17 @@ lintArtifacts(const std::vector<std::string> &paths)
         if (const auto text = slurp(path, report)) {
             size_t rows = 0;
             lintGoldenText(*text, path, report, &rows);
-            goldenRows.emplace(stemOf(path),
-                               std::make_pair(path, rows));
+            // Search-report audits (<name>.search.csv) share the
+            // sweep CSV schema and get the full header/row lint, but
+            // they cover only the points the search really evaluated
+            // — they are not goldens and must not trip the row-count
+            // or orphan cross-checks.
+            const std::string stem = stemOf(path);
+            const bool searchReport =
+                stem.size() > 7 &&
+                stem.compare(stem.size() - 7, 7, ".search") == 0;
+            if (!searchReport)
+                goldenRows.emplace(stem, std::make_pair(path, rows));
         }
     }
 

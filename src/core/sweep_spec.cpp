@@ -31,20 +31,22 @@ class SpecBuilder
     {
     }
 
-    SweepSpec build(const JsonValue &root)
+    SweepPlan build(const JsonValue &root)
     {
         expect(root, JsonValue::Kind::Object, "spec document");
-        SweepSpec spec;
+        SweepPlan plan;
         const JsonValue *sweeps = nullptr;
         for (const auto &[key, value] : root.members) {
             if (key == "name") {
                 expect(value, JsonValue::Kind::String, "\"name\"");
-                spec.name = value.text;
+                plan.name = value.text;
                 checkName(value);
             } else if (key == "description") {
                 expect(value, JsonValue::Kind::String,
                        "\"description\"");
-                spec.description = value.text;
+                plan.description = value.text;
+            } else if (key == "search") {
+                parseSearch(value, plan.search);
             } else if (key == "sweeps") {
                 expect(value, JsonValue::Kind::Array, "\"sweeps\"");
                 sweeps = &value;
@@ -52,17 +54,20 @@ class SpecBuilder
                 parser_.failAt(value,
                                "unknown spec key \"" + key +
                                    "\" (known: name, description, "
-                                   "sweeps)");
+                                   "search, sweeps)");
             }
         }
-        if (spec.name.empty())
+        if (plan.name.empty())
             parser_.failAt(root, "spec is missing \"name\"");
         if (sweeps == nullptr || sweeps->items.empty())
             parser_.failAt(root,
                            "spec needs a non-empty \"sweeps\" array");
-        for (const JsonValue &grid : sweeps->items)
-            expandGrid(grid, spec.points);
-        return spec;
+        size_t total = 0;
+        for (const JsonValue &grid : sweeps->items) {
+            plan.grids.push_back(buildGrid(grid, total));
+            total += plan.grids.back().size();
+        }
+        return plan;
     }
 
   private:
@@ -117,47 +122,82 @@ class SpecBuilder
         }
     }
 
-    /** Apply one axis value to a point under construction. */
-    void applyAxisValue(const std::string &key, const JsonValue &value,
-                        PlannedPoint &point) const
+    /**
+     * Validate one axis value now (all schema and name errors carry
+     * the document position) and return a setter that applies it to a
+     * point later — the lazy-grid building block. Applying the
+     * returned setter is exactly what the eager expansion used to do
+     * in place.
+     */
+    SweepGrid::Setter makeSetter(const std::string &key,
+                                 const JsonValue &value) const
     {
         if (key == "apps") {
             expect(value, JsonValue::Kind::String, "application");
-            setApplication(value.text, value, point);
-        } else if (key == "topology") {
+            return makeApplicationSetter(value.text, value);
+        }
+        if (key == "topology") {
             expect(value, JsonValue::Kind::String, "\"topology\"");
-            setTopology(value.text, value, point);
-        } else if (key == "capacity") {
-            point.design.trapCapacity = intOf(value, "\"capacity\"");
-        } else if (key == "gate") {
+            return makeTopologySetter(value.text, value);
+        }
+        if (key == "capacity") {
+            const int capacity = intOf(value, "\"capacity\"");
+            return [capacity](PlannedPoint &point) {
+                point.design.trapCapacity = capacity;
+            };
+        }
+        if (key == "gate") {
             expect(value, JsonValue::Kind::String, "\"gate\"");
-            point.design.hw.gateImpl = lookupAt(
+            const GateImpl impl = lookupAt(
                 value, [&] { return gateImplFromName(value.text); });
-        } else if (key == "reorder") {
+            return [impl](PlannedPoint &point) {
+                point.design.hw.gateImpl = impl;
+            };
+        }
+        if (key == "reorder") {
             expect(value, JsonValue::Kind::String, "\"reorder\"");
-            point.design.hw.reorder = lookupAt(value, [&] {
+            const ReorderMethod reorder = lookupAt(value, [&] {
                 return reorderMethodFromName(value.text);
             });
-        } else if (key == "buffer") {
-            point.design.hw.bufferSlots = intOf(value, "\"buffer\"");
-        } else if (key == "policy") {
+            return [reorder](PlannedPoint &point) {
+                point.design.hw.reorder = reorder;
+            };
+        }
+        if (key == "buffer") {
+            const int buffer = intOf(value, "\"buffer\"");
+            return [buffer](PlannedPoint &point) {
+                point.design.hw.bufferSlots = buffer;
+            };
+        }
+        if (key == "policy") {
             expect(value, JsonValue::Kind::String, "\"policy\"");
-            point.options.mappingPolicy = lookupAt(value, [&] {
+            const MappingPolicy policy = lookupAt(value, [&] {
                 return mappingPolicyFromName(value.text);
             });
-        } else if (key == "params") {
+            return [policy](PlannedPoint &point) {
+                point.options.mappingPolicy = policy;
+            };
+        }
+        if (key == "params") {
             expect(value, JsonValue::Kind::Object, "\"params\"");
+            std::vector<std::pair<std::string, double>> overrides;
+            HardwareParams scratch; // name check at parse time
             for (const auto &[param, pv] : value.members) {
                 expect(pv, JsonValue::Kind::Number,
                        "parameter \"" + param + "\"");
                 lookupAt(pv, [&] {
-                    applyHardwareOverride(point.design.hw, param,
-                                          pv.number);
+                    applyHardwareOverride(scratch, param, pv.number);
                 });
+                overrides.emplace_back(param, pv.number);
             }
-        } else {
-            panicUnless(false, "axis key missing from sweepAxisKeys");
+            return [overrides](PlannedPoint &point) {
+                for (const auto &[param, number] : overrides)
+                    applyHardwareOverride(point.design.hw, param,
+                                          number);
+            };
         }
+        panicUnless(false, "axis key missing from sweepAxisKeys");
+        return {};
     }
 
     /**
@@ -166,28 +206,33 @@ class SpecBuilder
      * paths resolve relative to the spec file like "qasm:" paths do
      * (the file itself is read when the device is built).
      */
-    void setTopology(const std::string &text, const JsonValue &value,
-                     PlannedPoint &point) const
+    SweepGrid::Setter
+    makeTopologySetter(const std::string &text,
+                       const JsonValue &value) const
     {
         const std::string topo_prefix = "topo:";
+        std::string spec = text;
         if (text.rfind(topo_prefix, 0) == 0) {
             std::string path = text.substr(topo_prefix.size());
             if (path.empty())
                 parser_.failAt(value, "empty path after \"topo:\"");
             if (path[0] != '/' && !baseDir_.empty())
                 path = baseDir_ + "/" + path;
-            point.design.topologySpec = topo_prefix + path;
-            return;
+            spec = topo_prefix + path;
+        } else {
+            lookupAt(value, [&] {
+                validateTopologySpec(text);
+                return 0;
+            });
         }
-        lookupAt(value, [&] {
-            validateTopologySpec(text);
-            return 0;
-        });
-        point.design.topologySpec = text;
+        return [spec](PlannedPoint &point) {
+            point.design.topologySpec = spec;
+        };
     }
 
-    void setApplication(const std::string &text, const JsonValue &value,
-                        PlannedPoint &point) const
+    SweepGrid::Setter
+    makeApplicationSetter(const std::string &text,
+                          const JsonValue &value) const
     {
         const std::string qasm_prefix = "qasm:";
         if (text.rfind(qasm_prefix, 0) == 0) {
@@ -196,9 +241,11 @@ class SpecBuilder
                 parser_.failAt(value, "empty path after \"qasm:\"");
             if (path[0] != '/' && !baseDir_.empty())
                 path = baseDir_ + "/" + path;
-            point.qasmPath = path;
-            point.application = stemOf(path);
-            return;
+            std::string stem = stemOf(path);
+            return [path, stem](PlannedPoint &point) {
+                point.qasmPath = path;
+                point.application = stem;
+            };
         }
         // Builtin applications are validated now so a typo fails at
         // parse time, not points deep into a long run.
@@ -209,8 +256,10 @@ class SpecBuilder
             parser_.failAt(value, "unknown application '" + text +
                                       "' (see qccd_explore --list, or "
                                       "use \"qasm:FILE\")");
-        point.qasmPath.clear();
-        point.application = text;
+        return [text](PlannedPoint &point) {
+            point.qasmPath.clear();
+            point.application = text;
+        };
     }
 
     static std::string stemOf(const std::string &path)
@@ -254,19 +303,48 @@ class SpecBuilder
         }
     }
 
-    void expandGrid(const JsonValue &grid,
-                    std::vector<PlannedPoint> &out) const
+    /** Parse the top-level "search" block (budget/eta/seed). */
+    void parseSearch(const JsonValue &value,
+                     SearchSpecOptions &search) const
+    {
+        expect(value, JsonValue::Kind::Object, "\"search\"");
+        search.declared = true;
+        for (const auto &[key, v] : value.members) {
+            if (key == "budget") {
+                const int budget = intOf(v, "\"budget\"");
+                if (budget < 1)
+                    parser_.failAt(v,
+                                   "\"budget\" must be at least 1");
+                search.budget = static_cast<size_t>(budget);
+            } else if (key == "eta") {
+                const int eta = intOf(v, "\"eta\"");
+                if (eta < 2)
+                    parser_.failAt(v, "\"eta\" must be at least 2");
+                search.eta = eta;
+            } else if (key == "seed") {
+                expect(v, JsonValue::Kind::Number, "\"seed\"");
+                const auto seed = static_cast<uint64_t>(v.number);
+                if (static_cast<double>(seed) != v.number ||
+                    v.number < 0)
+                    parser_.failAt(v, "\"seed\" must be a "
+                                      "non-negative integer");
+                search.seed = seed;
+            } else {
+                parser_.failAt(v, "unknown search key \"" + key +
+                                      "\" (known: budget, eta, "
+                                      "seed)");
+            }
+        }
+    }
+
+    SweepGrid buildGrid(const JsonValue &grid,
+                        size_t points_so_far) const
     {
         expect(grid, JsonValue::Kind::Object, "sweep grid");
 
         // An axis per array-valued key, in declaration order (first
         // declared varies slowest); scalars fix the value grid-wide.
-        struct Axis
-        {
-            std::string key;
-            const JsonValue *values; // array node
-        };
-        std::vector<Axis> axes;
+        std::vector<SweepGrid::Axis> axes;
         PlannedPoint base;
         bool have_apps = false;
 
@@ -294,39 +372,31 @@ class SpecBuilder
                 if (value.items.empty())
                     parser_.failAt(value, "axis \"" + key +
                                               "\" must not be empty");
-                axes.push_back({key, &value});
+                SweepGrid::Axis axis;
+                axis.key = key;
+                axis.values.reserve(value.items.size());
+                for (const JsonValue &item : value.items)
+                    axis.values.push_back(makeSetter(key, item));
+                axes.push_back(std::move(axis));
             } else {
-                applyAxisValue(key, value, base);
+                makeSetter(key, value)(base);
             }
         }
         if (!have_apps)
             parser_.failAt(grid, "sweep grid is missing \"apps\"");
 
         size_t total = 1;
-        for (const Axis &axis : axes) {
-            const size_t n = axis.values->items.size();
+        for (const SweepGrid::Axis &axis : axes) {
+            const size_t n = axis.values.size();
             if (total > kMaxSweepPoints / n)
                 parser_.failAt(grid,
                                "grid expands to too many points");
             total *= n;
         }
-        if (out.size() > kMaxSweepPoints - total)
+        if (points_so_far > kMaxSweepPoints - total)
             parser_.failAt(grid, "spec expands to too many points");
 
-        // Odometer over the axes: first axis is the slowest digit.
-        std::vector<size_t> index(axes.size(), 0);
-        for (size_t produced = 0; produced < total; ++produced) {
-            PlannedPoint point = base;
-            for (size_t a = 0; a < axes.size(); ++a)
-                applyAxisValue(axes[a].key,
-                               axes[a].values->items[index[a]], point);
-            out.push_back(std::move(point));
-            for (size_t a = axes.size(); a-- > 0;) {
-                if (++index[a] < axes[a].values->items.size())
-                    break;
-                index[a] = 0;
-            }
-        }
+        return {std::move(base), std::move(axes)};
     }
 
     const JsonParser &parser_;
@@ -348,8 +418,63 @@ sweepAxisKeys()
     return keys;
 }
 
-SweepSpec
-parseSweepSpec(const std::string &text, const std::string &origin,
+SweepGrid::SweepGrid(PlannedPoint base, std::vector<Axis> axes)
+    : base_(std::move(base)), axes_(std::move(axes))
+{
+    for (const Axis &axis : axes_)
+        size_ *= axis.values.size();
+}
+
+PlannedPoint
+SweepGrid::point(size_t index) const
+{
+    panicUnless(index < size_, "grid point index out of range");
+    PlannedPoint point = base_;
+    // Odometer decode, first declared axis the slowest digit, setters
+    // applied in declaration order — the same point the eager
+    // expansion produced at this position.
+    size_t stride = size_;
+    for (const Axis &axis : axes_) {
+        stride /= axis.values.size();
+        axis.values[(index / stride) % axis.values.size()](point);
+    }
+    return point;
+}
+
+size_t
+SweepPlan::size() const
+{
+    size_t total = 0;
+    for (const SweepGrid &grid : grids)
+        total += grid.size();
+    return total;
+}
+
+PlannedPoint
+SweepPlan::point(size_t index) const
+{
+    for (const SweepGrid &grid : grids) {
+        if (index < grid.size())
+            return grid.point(index);
+        index -= grid.size();
+    }
+    panicUnless(false, "plan point index out of range");
+    return {};
+}
+
+std::vector<PlannedPoint>
+SweepPlan::expand() const
+{
+    std::vector<PlannedPoint> points;
+    points.reserve(size());
+    for (const SweepGrid &grid : grids)
+        for (size_t i = 0; i < grid.size(); ++i)
+            points.push_back(grid.point(i));
+    return points;
+}
+
+SweepPlan
+parseSweepPlan(const std::string &text, const std::string &origin,
                const std::string &base_dir)
 {
     JsonParser parser(text, origin);
@@ -357,8 +482,8 @@ parseSweepSpec(const std::string &text, const std::string &origin,
     return SpecBuilder(parser, base_dir).build(root);
 }
 
-SweepSpec
-parseSweepSpecFile(const std::string &path)
+SweepPlan
+parseSweepPlanFile(const std::string &path)
 {
     std::ifstream in(path);
     fatalUnless(in.good(), "cannot read sweep spec '" + path + "'");
@@ -368,7 +493,24 @@ parseSweepSpecFile(const std::string &path)
     const size_t slash = path.find_last_of('/');
     const std::string base_dir =
         slash == std::string::npos ? "." : path.substr(0, slash);
-    return parseSweepSpec(text.str(), path, base_dir);
+    return parseSweepPlan(text.str(), path, base_dir);
+}
+
+SweepSpec
+parseSweepSpec(const std::string &text, const std::string &origin,
+               const std::string &base_dir)
+{
+    SweepPlan plan = parseSweepPlan(text, origin, base_dir);
+    return {std::move(plan.name), std::move(plan.description),
+            plan.expand()};
+}
+
+SweepSpec
+parseSweepSpecFile(const std::string &path)
+{
+    SweepPlan plan = parseSweepPlanFile(path);
+    return {std::move(plan.name), std::move(plan.description),
+            plan.expand()};
 }
 
 SweepShard
@@ -411,6 +553,8 @@ SweepSpecRunner::SweepSpecRunner(SweepEngine &engine) : engine_(engine)
 std::shared_ptr<const Circuit>
 SweepSpecRunner::circuitFor(const PlannedPoint &point)
 {
+    if (point.native != nullptr)
+        return point.native;
     if (point.qasmPath.empty())
         return engine_.nativeBenchmark(point.application);
     auto it = qasmCache_.find(point.qasmPath);

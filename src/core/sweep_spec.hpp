@@ -32,6 +32,17 @@
  * co-varying parameter sets that a plain cross product cannot express.
  * Grids expand in file order and concatenate into one row stream.
  *
+ * An optional top-level "search" block configures surrogate-guided
+ * search over the same space (core/search.hpp):
+ *
+ *     "search": {"budget": 16, "seed": 7, "eta": 2}
+ *
+ * Parsing yields a SweepPlan first — grids hold their axes as
+ * pre-validated value setters and decode any point index on demand —
+ * so a search can address a combinatorially large space without
+ * materializing it. parseSweepSpec() is the eager wrapper that expands
+ * a plan into the flat point list sweeps execute.
+ *
  * Expanded points execute through the shared SweepEngine in batches,
  * with contiguous sharding (--shard i/n; concatenating shard outputs in
  * index order is byte-identical to the unsharded run) and append/resume
@@ -45,6 +56,7 @@
 #define QCCD_CORE_SWEEP_SPEC_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -70,6 +82,14 @@ struct PlannedPoint
     /** Path of the QASM source; empty for builtin applications. */
     std::string qasmPath;
 
+    /**
+     * Already-lowered circuit, set by callers that build points
+     * programmatically around a circuit with no spec name (the
+     * --recommend path). When set it wins over application/qasmPath
+     * for evaluation; `application` stays the row label.
+     */
+    std::shared_ptr<const Circuit> native;
+
     DesignPoint design;
     RunOptions options;
 };
@@ -86,6 +106,93 @@ struct SweepSpec
     /** Every grid point in file order (grids concatenated). */
     std::vector<PlannedPoint> points;
 };
+
+/** Spec-level configuration of the surrogate-guided search
+ *  (`"search"` block; see core/search.hpp for the semantics). */
+struct SearchSpecOptions
+{
+    /** True when the spec declared a "search" block. */
+    bool declared = false;
+
+    /** Real-evaluation budget; 0 = default (a quarter of the space,
+     *  the headline ratio, but at least one point). */
+    size_t budget = 0;
+
+    /** Calibration-sampling seed (deterministic by construction). */
+    uint64_t seed = kDefaultSearchSeed;
+
+    /** Successive-halving rate: each rung keeps ~1/eta of the
+     *  remaining budget for later rungs. */
+    int eta = 2;
+
+    static constexpr uint64_t kDefaultSearchSeed = 0x9E3779B97F4A7C15ULL;
+};
+
+/**
+ * One declared grid in lazy form: a base point plus per-axis vectors of
+ * pre-validated value setters. point(i) decodes the odometer (first
+ * declared axis varies slowest — identical order to eager expansion)
+ * without touching any other index, so a search can address point
+ * 814_231 of a million-point grid in O(axes).
+ */
+class SweepGrid
+{
+  public:
+    using Setter = std::function<void(PlannedPoint &)>;
+
+    struct Axis
+    {
+        std::string key;
+        std::vector<Setter> values;
+    };
+
+    SweepGrid(PlannedPoint base, std::vector<Axis> axes);
+
+    /** Number of points this grid expands to (product of axis sizes). */
+    size_t size() const { return size_; }
+
+    /** Decode point @p index (grid-local, in [0, size())). */
+    PlannedPoint point(size_t index) const;
+
+    /** The scalar-valued base every point starts from. */
+    const PlannedPoint &base() const { return base_; }
+
+  private:
+    PlannedPoint base_;
+    std::vector<Axis> axes_;
+    size_t size_ = 1;
+};
+
+/**
+ * A parsed sweep specification with its grids kept lazy. expand() is
+ * exactly the flat point list parseSweepSpec() returns; size()/point()
+ * serve the search layer without materializing the space.
+ */
+struct SweepPlan
+{
+    std::string name;
+    std::string description;
+    SearchSpecOptions search;
+    std::vector<SweepGrid> grids;
+
+    /** Total points across grids. */
+    size_t size() const;
+
+    /** Decode absolute point @p index (spec order, grids
+     *  concatenated) — the index sweeps and CSV rows use. */
+    PlannedPoint point(size_t index) const;
+
+    /** Eagerly expand every grid, in spec order. */
+    std::vector<PlannedPoint> expand() const;
+};
+
+/** Lazy counterpart of parseSweepSpec (same schema, same errors). */
+SweepPlan parseSweepPlan(const std::string &text,
+                         const std::string &origin = "sweep",
+                         const std::string &base_dir = "");
+
+/** Parse a `.sweep` file into a lazy plan. */
+SweepPlan parseSweepPlanFile(const std::string &path);
 
 /**
  * Grid keys that take axis values ("apps", "topology", "capacity",
@@ -235,9 +342,13 @@ class SweepSpecRunner
     /** Points handed to the engine per run() batch by default. */
     static constexpr size_t kDefaultBatchSize = 64;
 
-  private:
+    /** Resolve a point's lowered circuit (builtin via the engine's
+     *  cache, QASM via this runner's; point.native wins when set).
+     *  Public so the search layer reuses the same caches for feature
+     *  extraction. */
     std::shared_ptr<const Circuit> circuitFor(const PlannedPoint &point);
 
+  private:
     /** Content digest of @p native, memoized per circuit object (the
      *  runner's circuits are shared, so identity implies content). */
     Digest128 circuitDigestFor(const Circuit &native);

@@ -11,6 +11,9 @@
  *                [--shard I/N] [--resume] [--jobs N] [--keep-going]
  *                [--max-errors N] [--point-timeout-ms N]
  *                [--cache FILE] [--cache-verify]
+ *   qccd_explore --search FILE [--search-budget N] [--search-seed N]
+ *                [--search-report FILE] [--jobs N]
+ *                [--point-timeout-ms N] [--cache FILE] [--cache-verify]
  *
  * Exit codes: 0 success, 1 error, 2 usage, 3 sweep completed but at
  * least one point failed (--keep-going; see README "Failure
@@ -22,6 +25,8 @@
  *   qccd_explore --sweep examples/sweeps/fig6.sweep
  */
 
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -41,6 +46,7 @@
 #include "core/report.hpp"
 #include "core/result_store.hpp"
 #include "core/resume.hpp"
+#include "core/search.hpp"
 #include "core/sweep_engine.hpp"
 #include "core/sweep_spec.hpp"
 #include "core/toolflow.hpp"
@@ -104,7 +110,24 @@ printUsage()
         "                    output either way; overrides the spec's\n"
         "                    \"cache\" option — see README)\n"
         "  --cache-verify    audit the cache: recompute every hit and\n"
-        "                    report divergence (exit 1 if any)\n";
+        "                    report divergence (exit 1 if any)\n"
+        "\n"
+        "Surrogate-guided search (see README \"Design-space search\"):\n"
+        "  --search FILE     find the best point of a .sweep space by\n"
+        "                    successive halving over a cost-model\n"
+        "                    ranking, really simulating only a budget\n"
+        "                    of points (default: a quarter of the\n"
+        "                    space); prints the winner and writes an\n"
+        "                    audit CSV of every real evaluation whose\n"
+        "                    rows are byte-identical to --sweep's\n"
+        "  --search-budget N real evaluations to spend (overrides the\n"
+        "                    spec's \"search\" block)\n"
+        "  --search-seed N   calibration-sampling seed (overrides the\n"
+        "                    spec; same seed => same winner and rows)\n"
+        "  --search-report FILE\n"
+        "                    audit CSV path (default <name>.search.csv)\n"
+        "                    (--jobs, --cache, --cache-verify and\n"
+        "                    --point-timeout-ms apply as in --sweep)\n";
 }
 
 /** Everything --sweep mode needs beyond the shared engine knobs. */
@@ -337,6 +360,150 @@ runSweepMode(const std::string &sweep_file, SweepCliOptions cli)
     return failures_total > 0 ? 3 : 0;
 }
 
+/** Everything --search mode needs beyond the shared engine knobs. */
+struct SearchCliOptions
+{
+    std::string reportFile;
+    size_t budget = 0;      // 0: spec "search" block, then space/4
+    bool haveSeed = false;
+    uint64_t seed = 0;
+    int pointTimeoutMs = 0; // 0: no override
+    int jobs = 0;
+    std::string cachePath;  // empty: spec option, then no cache
+    bool cacheVerify = false;
+};
+
+/** The plan's lazy space with CLI point overrides applied on decode. */
+class CliSearchSpace : public SearchSpace
+{
+  public:
+    CliSearchSpace(const SweepPlan &plan, int point_timeout_ms)
+        : plan_(plan), pointTimeoutMs_(point_timeout_ms)
+    {
+    }
+    size_t size() const override { return plan_.size(); }
+    PlannedPoint point(size_t index) const override
+    {
+        PlannedPoint point = plan_.point(index);
+        if (pointTimeoutMs_ > 0)
+            point.options.pointTimeoutMs = pointTimeoutMs_;
+        return point;
+    }
+
+  private:
+    const SweepPlan &plan_;
+    int pointTimeoutMs_;
+};
+
+int
+runSearchMode(const std::string &search_file, SearchCliOptions cli)
+{
+    const SweepPlan plan = parseSweepPlanFile(search_file);
+
+    // Resolve the result store exactly like --sweep: the CLI flag wins
+    // over the spec's "cache" option (a grid-level option, so the grid
+    // bases carry it — no need to expand the space to find it).
+    std::string cache_path = cli.cachePath;
+    if (cache_path.empty()) {
+        for (const SweepGrid &grid : plan.grids) {
+            const std::string &declared = grid.base().options.cachePath;
+            if (declared.empty())
+                continue;
+            fatalUnless(cache_path.empty() || cache_path == declared,
+                        "sweep spec declares conflicting cache paths "
+                        "('" + cache_path + "' vs '" + declared +
+                            "'); use one, or override with --cache");
+            cache_path = declared;
+        }
+    }
+    fatalUnless(!cli.cacheVerify || !cache_path.empty(),
+                "--cache-verify requires a result store (--cache FILE "
+                "or the spec's \"cache\" option)");
+    std::unique_ptr<ResultStore> store;
+    if (!cache_path.empty()) {
+        try {
+            store = std::make_unique<ResultStore>(cache_path);
+        } catch (const ConfigError &) {
+            throw;
+        } catch (const std::exception &err) {
+            std::cerr << "warning: result cache disabled (open "
+                         "failed: "
+                      << err.what() << "); continuing without it\n";
+        }
+    }
+
+    SearchOptions options;
+    options.budget = cli.budget != 0 ? cli.budget : plan.search.budget;
+    options.seed = cli.haveSeed ? cli.seed : plan.search.seed;
+    options.eta = plan.search.eta;
+    options.policy.cache = store.get();
+    options.policy.cacheVerify = cli.cacheVerify;
+
+    SweepEngine engine(cli.jobs);
+    SearchEngine search(engine);
+    const CliSearchSpace space(plan, cli.pointTimeoutMs);
+
+    // Open the audit CSV before spending any budget: an unwritable
+    // report path must fail fast, not after the search ran.
+    const std::string report_file = cli.reportFile.empty()
+                                        ? plan.name + ".search.csv"
+                                        : cli.reportFile;
+    std::ofstream report(report_file, std::ios::trunc);
+    fatalUnless(report.good(),
+                "cannot write file '" + report_file + "'");
+
+    std::cout << "search " << plan.name << ": " << space.size()
+              << " points, "
+              << SweepEngine::resolveJobs(cli.jobs) << " workers\n";
+
+    const SearchOutcome outcome = search.run(space, options);
+
+    // The audit CSV: header + one --sweep-identical row per real
+    // evaluation, ascending by spec index.
+    SweepRowWriter writer(report, ExportFormat::Csv);
+    for (const SearchEvaluation &ev : outcome.evaluations)
+        if (ev.point.ok())
+            writer.write(ev.point);
+    writer.finish();
+
+    const SearchStats &stats = outcome.stats;
+    std::cout << "staged: " << stats.run.fullSchedules << " full, "
+              << stats.run.replays << " replayed\n";
+    if (store != nullptr) {
+        const ResultStoreStats &cs = store->stats();
+        std::cout << "cache: " << store->path() << " hits=" << cs.hits
+                  << " misses=" << cs.misses
+                  << " inserts=" << cs.inserts
+                  << " loaded=" << cs.loaded
+                  << " quarantined=" << cs.quarantined
+                  << " healed=" << (cs.healedTail ? 1 : 0);
+        if (cli.cacheVerify)
+            std::cout << " divergent=" << stats.run.cacheDivergent;
+        std::cout << "\n";
+    }
+
+    // Greppable provenance ("^search:"): CI asserts evaluated stays
+    // within the budget fraction of the declared space.
+    std::cout << "search: space=" << stats.space
+              << " budget=" << stats.budget
+              << " evaluated=" << stats.evaluated
+              << " calibration=" << stats.calibration
+              << " rungs=" << stats.rungs << "\n";
+    fatalUnless(outcome.haveWinner, "search produced no result");
+    std::cout << "winner: " << sweepCsvRow(outcome.winner) << "\n";
+    std::cout << "wrote " << writer.rowsWritten() << " rows to "
+              << report_file << "\n";
+
+    if (stats.run.cacheDivergent > 0) {
+        std::cerr << "error: result cache '" << cache_path << "' has "
+                  << stats.run.cacheDivergent
+                  << " divergent record(s); the emitted rows are the "
+                     "recomputed ones — rebuild the cache file\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -355,6 +522,8 @@ main(int argc, char **argv)
     std::string isa_file;
     std::string sweep_file;
     SweepCliOptions sweep_cli;
+    std::string search_file;
+    SearchCliOptions search_cli;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -450,6 +619,28 @@ main(int argc, char **argv)
                 isa_file = value();
             } else if (arg == "--sweep") {
                 sweep_file = value();
+            } else if (arg == "--search") {
+                search_file = value();
+            } else if (arg == "--search-budget") {
+                const int budget = intValue();
+                fatalUnless(budget >= 1,
+                            "--search-budget must be at least 1");
+                search_cli.budget = static_cast<size_t>(budget);
+            } else if (arg == "--search-seed") {
+                const std::string text = value();
+                uint64_t seed = 0;
+                const auto [p, ec] = std::from_chars(
+                    text.data(), text.data() + text.size(), seed);
+                fatalUnless(ec == std::errc() &&
+                                p == text.data() + text.size(),
+                            "expected a non-negative integer for "
+                            "--search-seed, got '" + text + "'");
+                search_cli.seed = seed;
+                search_cli.haveSeed = true;
+            } else if (arg == "--search-report") {
+                search_cli.reportFile = value();
+                fatalUnless(!search_cli.reportFile.empty(),
+                            "--search-report needs a file path");
             } else if (arg == "--out") {
                 sweep_cli.outFile = value();
             } else if (arg == "--format") {
@@ -488,9 +679,35 @@ main(int argc, char **argv)
             }
         }
 
+        fatalUnless(sweep_file.empty() || search_file.empty(),
+                    "use either --sweep or --search, not both");
+        fatalUnless(search_file.empty() || !recommend,
+                    "use either --search or --recommend, not both");
+        fatalUnless(!search_file.empty() ||
+                        (search_cli.budget == 0 &&
+                         !search_cli.haveSeed &&
+                         search_cli.reportFile.empty()),
+                    "--search-budget/--search-seed/--search-report "
+                    "require --search");
         if (!sweep_file.empty()) {
             sweep_cli.jobs = jobs;
             return runSweepMode(sweep_file, sweep_cli);
+        }
+        if (!search_file.empty()) {
+            // Exhaustive-output plumbing makes no sense under a
+            // budgeted search; the audit CSV replaces --out.
+            fatalUnless(sweep_cli.outFile.empty() &&
+                            sweep_cli.formatName.empty() &&
+                            sweep_cli.shardText.empty() &&
+                            !sweep_cli.resume && !sweep_cli.keepGoing &&
+                            sweep_cli.maxErrors == 0,
+                        "--out/--format/--shard/--resume/--keep-going/"
+                        "--max-errors require --sweep");
+            search_cli.jobs = jobs;
+            search_cli.pointTimeoutMs = sweep_cli.pointTimeoutMs;
+            search_cli.cachePath = sweep_cli.cachePath;
+            search_cli.cacheVerify = sweep_cli.cacheVerify;
+            return runSearchMode(search_file, search_cli);
         }
         fatalUnless(sweep_cli.outFile.empty() &&
                         sweep_cli.formatName.empty() &&
@@ -521,14 +738,70 @@ main(int argc, char **argv)
                   << stats.patternLabel() << ")\n";
 
         if (recommend) {
+            // Surrogate-guided: the paper's candidate space is ranked
+            // by the cost model and only the predicted frontier is
+            // really simulated (a quarter of the fitting candidates),
+            // through the same SearchEngine as --search.
+            SweepEngine engine(jobs);
+            const auto native = SweepEngine::lower(circuit);
             const CandidateSpace space;
-            std::cout << "evaluating " << space.size()
+            std::vector<PlannedPoint> candidates;
+            candidates.reserve(space.size());
+            for (const std::string &topo : space.topologies) {
+                for (int cap : space.capacities) {
+                    for (GateImpl gate : space.gates) {
+                        for (ReorderMethod reorder : space.reorders) {
+                            DesignPoint dp;
+                            dp.topologySpec = topo;
+                            dp.trapCapacity = cap;
+                            dp.hw.gateImpl = gate;
+                            dp.hw.reorder = reorder;
+                            if (engine.context(dp)
+                                    ->topology()
+                                    .totalCapacity() <
+                                circuit.numQubits())
+                                continue; // application does not fit
+                            PlannedPoint point;
+                            point.application = name;
+                            point.native = native;
+                            point.design = dp;
+                            candidates.push_back(std::move(point));
+                        }
+                    }
+                }
+            }
+            fatalUnless(!candidates.empty(),
+                        "no candidate design fits the application");
+            std::cout << "searching " << candidates.size()
                       << " candidate designs on "
-                      << SweepEngine::resolveJobs(jobs) << " workers...\n";
-            const auto ranking = rankDesigns(circuit, space, jobs);
+                      << SweepEngine::resolveJobs(jobs)
+                      << " workers...\n";
+            SearchEngine search(engine);
+            const SearchOutcome outcome =
+                search.run(PointsSearchSpace(candidates), {});
+            std::vector<RankedDesign> ranking;
+            ranking.reserve(outcome.evaluations.size());
+            for (const SearchEvaluation &ev : outcome.evaluations)
+                if (ev.point.ok())
+                    ranking.emplace_back(ev.point.design,
+                                         ev.point.result);
+            std::stable_sort(
+                ranking.begin(), ranking.end(),
+                [](const RankedDesign &a, const RankedDesign &b) {
+                    if (a.score() != b.score())
+                        return a.score() > b.score();
+                    return a.result.totalTime() <
+                           b.result.totalTime();
+                });
+            const SearchStats &stats = outcome.stats;
+            std::cout << "search: space=" << stats.space
+                      << " budget=" << stats.budget
+                      << " evaluated=" << stats.evaluated
+                      << " calibration=" << stats.calibration
+                      << " rungs=" << stats.rungs << "\n";
             std::cout << rankingTable(ranking, 10);
             std::cout << "recommended: "
-                      << ranking.front().design.label() << "\n";
+                      << outcome.winner.design.label() << "\n";
             return 0;
         }
 

@@ -99,6 +99,38 @@ expect_error "zero --point-timeout-ms" "at least 1"    --sweep "$scratch/ok.swee
 expect_error "keep-going w/o sweep" "require --sweep"  --app qft --keep-going
 expect_error "max-errors w/o sweep" "require --sweep"  --app qft --max-errors 3
 
+# Surrogate-guided search (--search): flag validation mirrors --sweep.
+expect_error "missing --search" "cannot read sweep" \
+    --search "$scratch/none.sweep"
+expect_error "search + sweep" "not both" \
+    --sweep "$scratch/ok.sweep" --search "$scratch/ok.sweep"
+expect_error "search + recommend" "not both" \
+    --search "$scratch/ok.sweep" --recommend
+expect_error "budget w/o search"  "require --search" --app qft --search-budget 5
+expect_error "seed w/o search"    "require --search" --app qft --search-seed 7
+expect_error "report w/o search"  "require --search" \
+    --app qft --search-report "$scratch/r.csv"
+expect_error "zero --search-budget" "at least 1" \
+    --search "$scratch/ok.sweep" --search-budget 0
+expect_error "text --search-budget" "expected an integer" \
+    --search "$scratch/ok.sweep" --search-budget few
+expect_error "bad --search-seed" "non-negative integer" \
+    --search "$scratch/ok.sweep" --search-seed -5
+expect_error "sweep-only flag in search" "require --sweep" \
+    --search "$scratch/ok.sweep" --resume
+expect_error "unwritable search report" "cannot write file" \
+    --search "$scratch/ok.sweep" \
+    --search-report "$scratch/no-such-dir/r.csv"
+# A bad "search" block diagnoses at parse time with the spec position.
+echo '{"name": "x", "search": {"budget": 0}, "sweeps": [{"apps": "qft"}]}' \
+    > "$scratch/badsearch.sweep"
+expect_error "zero spec search budget" "at least 1" \
+    --search "$scratch/badsearch.sweep"
+echo '{"name": "x", "search": {"bucket": 3}, "sweeps": [{"apps": "qft"}]}' \
+    > "$scratch/typosearch.sweep"
+expect_error "typo'd search key" "known: budget, eta, seed" \
+    --search "$scratch/typosearch.sweep"
+
 # A bad sweep option diagnoses with the spec position, parse-time.
 echo '{"name": "x", "sweeps": [{"apps": "qft", "options": {"point_timeout_ms": 0}}]}' \
     > "$scratch/badtimeout.sweep"
